@@ -1,0 +1,42 @@
+"""Shared fixtures for the benchmark suite.
+
+The experiment grid is run once per session and shared by the Table 2 and
+Figure 6/7/8 benchmarks.  Select the grid size with the
+``REPRO_BENCH_CONFIG`` environment variable:
+
+* ``smoke`` — seconds (CI sanity),
+* ``quick`` — default; preserves the paper's experiment shape at ~1/50th
+  of the cost,
+* ``paper`` — the full Section 5.1 grid (N up to 75,000, R=10; hours).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.configs import paper_config, quick_config, smoke_config
+from repro.experiments.harness import run_grid
+
+_CONFIGS = {
+    "smoke": smoke_config,
+    "quick": quick_config,
+    "paper": paper_config,
+}
+
+
+def selected_config():
+    """The grid selected by ``REPRO_BENCH_CONFIG`` (default: quick)."""
+    name = os.environ.get("REPRO_BENCH_CONFIG", "quick")
+    if name not in _CONFIGS:
+        raise ValueError(
+            f"REPRO_BENCH_CONFIG={name!r} not in {sorted(_CONFIGS)}"
+        )
+    return _CONFIGS[name]()
+
+
+@pytest.fixture(scope="session")
+def grid_results():
+    """The full experiment grid, run once and shared across benchmarks."""
+    return run_grid(selected_config())

@@ -1,0 +1,249 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. merge seeding: largest-weight (paper) vs random — the paper argues the
+   weight-based initialization "forces the algorithm to take into account
+   which data points are likely to represent significant cluster
+   centroids already".
+2. merge discipline: collective (paper) vs incremental (rejected) — the
+   paper's statistical-fairness argument.
+3. slicing strategy: random (experiments) vs spatial vs salami — the
+   paper's Section 6 future work; it predicts locality loss hurts when a
+   limited-size cell is sliced.
+4. split-count sensitivity: MSE and time as p grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kmeans import lloyd
+from repro.core.merge import incremental_merge_kmeans, merge_kmeans
+from repro.core.model import WeightedCentroidSet
+from repro.core.partial import partial_kmeans
+from repro.core.pipeline import PartialMergeKMeans
+from repro.core.quality import mse as evaluate_mse
+from repro.core.seeding import random_seeds
+from repro.data.generator import generate_cell_points
+from repro.data.partitioning import make_partitioner
+
+_N_POINTS = 8_000
+_K = 40
+_CHUNKS = 8
+
+
+def _partials(points: np.ndarray, seed: int) -> list[WeightedCentroidSet]:
+    rng = np.random.default_rng(seed)
+    chunks = make_partitioner("random", seed=seed).split(points, _CHUNKS)
+    return [
+        partial_kmeans(c, _K, restarts=3, rng=rng, max_iter=60).summary
+        for c in chunks
+    ]
+
+
+def test_bench_merge_seeding(benchmark):
+    """Largest-weight vs random seeding of the merge k-means."""
+    points = generate_cell_points(_N_POINTS, seed=11)
+    partials = _partials(points, seed=0)
+    pooled = WeightedCentroidSet.concatenate(partials)
+
+    paper_result = benchmark.pedantic(
+        lambda: merge_kmeans(partials, _K, max_iter=60),
+        rounds=1,
+        iterations=1,
+    )
+    paper_mse = evaluate_mse(points, paper_result.model.centroids)
+
+    random_mses = []
+    for trial in range(5):
+        seeds = random_seeds(
+            pooled.centroids, _K, np.random.default_rng(trial)
+        )
+        random_run = lloyd(
+            pooled.centroids, seeds, weights=pooled.weights, max_iter=60
+        )
+        random_mses.append(
+            evaluate_mse(points, random_run.to_weighted_set().centroids)
+        )
+
+    print()
+    print(f"merge seeding — largest-weight: mse={paper_mse:.3f}")
+    print(
+        f"merge seeding — random x5     : mse mean={np.mean(random_mses):.3f} "
+        f"best={min(random_mses):.3f} worst={max(random_mses):.3f}"
+    )
+
+    # The deterministic paper seeding must be competitive with the
+    # *average* random seeding (it avoids the bad tail without restarts).
+    assert paper_mse <= np.mean(random_mses) * 1.25
+
+
+def test_bench_merge_discipline(benchmark):
+    """Collective (paper) vs incremental merging of the same partials."""
+    points = generate_cell_points(_N_POINTS, seed=12)
+    partials = _partials(points, seed=1)
+
+    collective = benchmark.pedantic(
+        lambda: merge_kmeans(partials, _K, max_iter=60),
+        rounds=1,
+        iterations=1,
+    )
+    incremental = incremental_merge_kmeans(partials, _K, max_iter=60)
+
+    collective_mse = evaluate_mse(points, collective.model.centroids)
+    incremental_mse = evaluate_mse(points, incremental.model.centroids)
+    print()
+    print(f"collective merge : mse={collective_mse:.3f}")
+    print(f"incremental merge: mse={incremental_mse:.3f}")
+
+    # The paper's choice must not lose to the rejected alternative by a
+    # meaningful margin (it usually wins outright).
+    assert collective_mse <= incremental_mse * 1.15
+
+
+def test_bench_slicing_strategies(benchmark):
+    """Random vs spatial vs salami slicing feeding the same pipeline.
+
+    Merge quality is dominated by which local optimum the weighted merge
+    finds, so each strategy is averaged over three datasets.  A finding
+    this ablation surfaces (recorded in EXPERIMENTS.md): salami slicing
+    makes chunks nearly identical, so the largest-weight merge seeding
+    tends to pick near-duplicate heavy centroids and can land in worse
+    optima than the paper's random split — overlap alone is not enough.
+    """
+    datasets = [generate_cell_points(_N_POINTS, seed=s) for s in (13, 14, 15)]
+
+    def run(strategy: str) -> float:
+        mses = []
+        for points in datasets:
+            chunks = make_partitioner(strategy, seed=2).split(points, _CHUNKS)
+            report = PartialMergeKMeans(k=_K, restarts=3, max_iter=60, seed=2)
+            mses.append(
+                report.fit_chunks(chunks, evaluate_on=points).model.mse
+            )
+        return float(np.mean(mses))
+
+    outcomes: dict[str, float] = {}
+    outcomes["random"] = benchmark.pedantic(
+        lambda: run("random"), rounds=1, iterations=1
+    )
+    for strategy in ("spatial", "salami"):
+        outcomes[strategy] = run(strategy)
+
+    print()
+    for strategy, strategy_mse in outcomes.items():
+        print(f"slicing {strategy:>8}: mean mse={strategy_mse:.3f}")
+
+    # The paper's random split must be the most reliable strategy (it is
+    # never dominated), and all strategies stay within one order of
+    # magnitude — slicing changes optima, not correctness.
+    assert outcomes["random"] <= min(outcomes.values()) * 1.5
+    assert max(outcomes.values()) <= min(outcomes.values()) * 10.0
+
+
+def test_bench_split_count_sensitivity(benchmark):
+    """MSE and wall time as the number of chunks grows."""
+    points = generate_cell_points(_N_POINTS, seed=14)
+    split_counts = (2, 5, 10, 20)
+
+    def run(n_chunks: int):
+        return PartialMergeKMeans(
+            k=_K, restarts=3, n_chunks=n_chunks, max_iter=60, seed=3
+        ).fit(points)
+
+    reports = {}
+    reports[split_counts[0]] = benchmark.pedantic(
+        lambda: run(split_counts[0]), rounds=1, iterations=1
+    )
+    for n_chunks in split_counts[1:]:
+        reports[n_chunks] = run(n_chunks)
+
+    print()
+    for n_chunks, report in reports.items():
+        model = report.model
+        print(
+            f"p={n_chunks:>3}: raw mse={model.mse:.3f} "
+            f"E_pm={report.merge.mse:.3f} t={model.total_seconds:.3f}s"
+        )
+
+    # Time shape: more splits never slower by much (smaller chunks
+    # converge faster); 20-split must beat 2-split on wall time.
+    assert (
+        reports[split_counts[-1]].model.total_seconds
+        < reports[split_counts[0]].model.total_seconds
+    )
+    # Quality stays in the same class across split counts (raw metric).
+    mses = [r.model.mse for r in reports.values()]
+    assert max(mses) < min(mses) * 2.5
+
+
+def test_bench_ecvq_adaptive_k(benchmark):
+    """The paper's Section 3.3 ECVQ remark: adaptive per-partition k.
+
+    ECVQ partial steps start from max_k seeds and let rare centroids
+    starve, so each partition settles on its own effective k; the merge
+    consumes whatever survives.  Compared against the fixed-k pipeline
+    on identical chunks.
+    """
+    from repro.core.adaptive_k import EcvqPartialMergeKMeans
+
+    points = generate_cell_points(_N_POINTS, seed=15)
+
+    adaptive = benchmark.pedantic(
+        lambda: EcvqPartialMergeKMeans(
+            k=_K, max_k=2 * _K, lam=0.5, n_chunks=_CHUNKS, max_iter=60, seed=4
+        ).fit(points),
+        rounds=1,
+        iterations=1,
+    )
+    fixed = PartialMergeKMeans(
+        k=_K, restarts=3, n_chunks=_CHUNKS, max_iter=60, seed=4
+    ).fit(points)
+
+    print()
+    print(
+        f"fixed k={_K}     : raw mse={fixed.model.mse:.3f} "
+        f"(every partition emits {_K} centroids)"
+    )
+    print(
+        f"ECVQ max_k={2*_K}: raw mse={adaptive.model.mse:.3f} "
+        f"effective ks={adaptive.effective_ks}"
+    )
+
+    # Shape: ECVQ finds a per-partition k below its ceiling (starvation
+    # works) and stays in the same quality class as fixed k.
+    assert all(ek <= 2 * _K for ek in adaptive.effective_ks)
+    assert any(ek < 2 * _K for ek in adaptive.effective_ks)
+    assert adaptive.model.mse < fixed.model.mse * 5 + 1.0
+
+
+def test_bench_merge_restarts_extension(benchmark):
+    """The merge-collapse repair (see EXPERIMENTS.md).
+
+    Salami-sliced chunks are nearly identical, so largest-weight merge
+    seeding picks near-duplicate heavy centroids; extra random merge
+    restarts must repair the collapsed optima at small extra cost.
+    """
+    datasets = [generate_cell_points(_N_POINTS, seed=s) for s in (13, 15, 16)]
+
+    def run(merge_restarts: int) -> float:
+        mses = []
+        for points in datasets:
+            chunks = make_partitioner("salami").split(points, _CHUNKS)
+            report = PartialMergeKMeans(
+                k=_K,
+                restarts=3,
+                max_iter=60,
+                seed=2,
+                merge_restarts=merge_restarts,
+            ).fit_chunks(chunks, evaluate_on=points)
+            mses.append(report.model.mse)
+        return float(np.mean(mses))
+
+    plain = benchmark.pedantic(lambda: run(0), rounds=1, iterations=1)
+    repaired = run(3)
+
+    print()
+    print(f"merge_restarts=0 (paper): mean raw mse={plain:.3f}")
+    print(f"merge_restarts=3 (ext)  : mean raw mse={repaired:.3f}")
+
+    assert repaired <= plain + 1e-9

@@ -1,0 +1,90 @@
+"""Benchmark: partial/merge against every implemented clustering method.
+
+Not a paper table, but the comparison a downstream adopter needs: on one
+representative cell and identical k, time and raw-point MSE for serial
+k-means, partial/merge, STREAM/LOCALSEARCH, BIRCH, mini-batch k-means,
+CLARANS and CURE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import (
+    Birch,
+    Clarans,
+    Cure,
+    MiniBatchKMeans,
+    SerialKMeans,
+    StreamLocalSearch,
+)
+from repro.core.pipeline import PartialMergeKMeans
+from repro.core.quality import mse as evaluate_mse
+from repro.data.generator import generate_cell_points
+
+_N_POINTS = 10_000
+_K = 40
+
+
+def test_bench_all_baselines(benchmark):
+    points = generate_cell_points(_N_POINTS, seed=31)
+    rows: dict[str, tuple[float, float]] = {}
+
+    pm_report = benchmark.pedantic(
+        lambda: PartialMergeKMeans(
+            k=_K, restarts=5, n_chunks=10, max_iter=100, seed=0
+        ).fit(points),
+        rounds=1,
+        iterations=1,
+    )
+    rows["partial/merge 10-split"] = (
+        pm_report.model.mse,
+        pm_report.model.total_seconds,
+    )
+
+    serial = SerialKMeans(_K, restarts=5, max_iter=100, seed=0).fit(points)
+    rows["serial k-means"] = (
+        evaluate_mse(points, serial.centroids),
+        serial.total_seconds,
+    )
+
+    stream = StreamLocalSearch(
+        _K, batch_size=2_000, restarts=3, max_iter=100, seed=0
+    ).fit(points)
+    rows["STREAM/LOCALSEARCH"] = (stream.mse, stream.total_seconds)
+
+    birch = Birch(_K, threshold=2.0).fit(points)
+    rows["BIRCH"] = (birch.mse, birch.total_seconds)
+
+    minibatch = MiniBatchKMeans(_K, batch_size=512, seed=0).fit(points)
+    rows["mini-batch k-means"] = (minibatch.mse, minibatch.total_seconds)
+
+    clarans = Clarans(
+        _K, numlocal=1, maxneighbor=200, seed=0
+    ).fit(points)
+    rows["CLARANS"] = (clarans.mse, clarans.total_seconds)
+
+    cure = Cure(_K, sample_size=200, seed=0).fit(points)
+    rows["CURE"] = (cure.mse, cure.total_seconds)
+
+    print()
+    header = f"{'method':<24} {'raw MSE':>9} {'time (s)':>9}"
+    print(header)
+    print("-" * len(header))
+    for name, (row_mse, seconds) in sorted(rows.items(), key=lambda r: r[1][0]):
+        print(f"{name:<24} {row_mse:>9.3f} {seconds:>9.3f}")
+
+    # Shape 1: partial/merge quality is in the k-means class — within 2x
+    # of serial on raw MSE.
+    assert rows["partial/merge 10-split"][0] < rows["serial k-means"][0] * 2.0
+    # Shape 2: partial/merge is faster than serial at this scale.
+    assert rows["partial/merge 10-split"][1] < rows["serial k-means"][1]
+    # Shape 3: the iterative-refinement family (serial, partial/merge,
+    # STREAM) beats the single-pass/medoid heuristics on raw MSE here.
+    refinement_worst = max(
+        rows["partial/merge 10-split"][0],
+        rows["serial k-means"][0],
+        rows["STREAM/LOCALSEARCH"][0],
+    )
+    heuristic_best = min(rows["CLARANS"][0], rows["CURE"][0])
+    assert refinement_worst < heuristic_best * 1.5

@@ -1,0 +1,62 @@
+"""Benchmark: the Section 3.2 complexity model (iterations vs N).
+
+Paper reference: serial iterations I grow with N ("If N is large, then
+I increases exponentially"); a chunk's iterations I' satisfy I' << I
+because N' = N/p << N; hence the summed partial cost O(N·K·I') beats
+serial O(N·K·I).  This benchmark measures I and I' directly and checks
+that the analytic distance-operation model predicts the measured
+speed-up direction.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.convergence_study import (
+    partial_merge_distance_ops,
+    render_convergence_study,
+    run_convergence_study,
+    serial_distance_ops,
+)
+
+_SIZES = (500, 2_000, 8_000, 20_000)
+_K = 40
+_RESTARTS = 3
+
+
+def test_bench_convergence_model(benchmark):
+    study = benchmark.pedantic(
+        lambda: run_convergence_study(
+            sizes=_SIZES, k=_K, restarts=_RESTARTS, n_chunks=10, seed=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_convergence_study(study, k=_K, restarts=_RESTARTS))
+
+    # Shape 1: serial iterations grow with N.
+    serial_iters = [p.serial_iterations for p in study]
+    assert serial_iters[-1] > serial_iters[0] * 2
+
+    # Shape 2: I' << I at every size beyond the smallest.
+    for point in study[1:]:
+        assert point.partial_iterations < point.serial_iterations * 0.75
+
+    # Shape 3: the cost model predicts a partial/merge win at scale, and
+    # the measured wall-clock agrees at the largest N.
+    largest = study[-1]
+    model_ratio = serial_distance_ops(
+        largest.n_points, _K, largest.serial_iterations, _RESTARTS
+    ) / partial_merge_distance_ops(
+        largest.n_points,
+        _K,
+        largest.partial_iterations,
+        _RESTARTS,
+        largest.n_chunks,
+    )
+    measured_ratio = largest.serial_seconds / largest.partial_merge_seconds
+    assert model_ratio > 1.5
+    assert measured_ratio > 1.5
+    # The model and the measurement agree within a factor of two at scale
+    # (constants cancel because both pipelines share one kernel).
+    assert 0.5 < model_ratio / measured_ratio < 2.0

@@ -1,0 +1,59 @@
+"""Benchmark: regenerate Figure 6 (overall execution time vs N).
+
+Paper reference: serial time grows super-linearly with N ("increasing
+exponentially"); partial/merge overall time is significantly lower for
+large cells even with the partial steps run serially on one machine; at
+N=75,000 the 10-split takes ~30% of the serial time.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.serial import SerialKMeans
+from repro.data.generator import generate_cell_points
+from repro.experiments.figures import figure6, render_figure
+
+
+def test_bench_figure6(benchmark, grid_results):
+    """Time one serial run (the figure's dominant curve) and print it."""
+    config = grid_results.config
+    points = generate_cell_points(config.sizes[-1], seed=config.seed)
+
+    def serial_run():
+        return SerialKMeans(
+            config.k,
+            restarts=min(3, config.restarts),
+            max_iter=config.max_iter,
+            seed=0,
+        ).fit(points)
+
+    benchmark.pedantic(serial_run, rounds=1, iterations=1)
+
+    figure = figure6(grid_results)
+    print()
+    print(render_figure(figure))
+
+    sizes = np.array(figure.x, dtype=float)
+    serial_times = np.array(figure.series["serial"])
+
+    # Shape 1: serial time grows super-linearly: time ratio outpaces the
+    # size ratio between the smallest and largest cells.
+    size_ratio = sizes[-1] / sizes[0]
+    time_ratio = serial_times[-1] / max(serial_times[0], 1e-9)
+    assert time_ratio > size_ratio * 0.8
+
+    # Shape 2: at the largest N every split curve sits below serial.
+    for case, times in figure.series.items():
+        if case != "serial":
+            assert times[-1] < serial_times[-1]
+
+    # Shape 3: the biggest split is the cheapest at the largest N
+    # (paper: 10-split wins for large cells).
+    split_finals = {
+        case: times[-1]
+        for case, times in figure.series.items()
+        if case != "serial"
+    }
+    biggest_split = max(split_finals, key=lambda c: int(c.replace("split", "")))
+    assert split_finals[biggest_split] == min(split_finals.values())

@@ -1,0 +1,46 @@
+"""Benchmark: is the partial/merge advantage robust to the choice of k?
+
+The paper fixes k = 40 and assumes the choice is appropriate.  This
+sweep verifies the conclusions do not hinge on that choice: across
+k ∈ {10, 20, 40, 80} the partial/merge time advantage persists and its
+raw-point quality stays in the serial class.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sensitivity import (
+    render_k_sensitivity,
+    run_k_sensitivity,
+)
+
+
+def test_bench_k_sensitivity(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_k_sensitivity(
+            ks=(10, 20, 40, 80),
+            n_points=10_000,
+            restarts=3,
+            n_chunks=10,
+            seed=0,
+            max_iter=100,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_k_sensitivity(points))
+
+    for point in points:
+        # Quality: within the serial class at every k.
+        assert point.quality_ratio < 2.0
+        # Monotone structure: more clusters, less error (both algorithms).
+    serial_mses = [p.serial_mse for p in points]
+    split_mses = [p.split_mse for p in points]
+    assert serial_mses == sorted(serial_mses, reverse=True)
+    assert split_mses == sorted(split_mses, reverse=True)
+
+    # Time advantage holds for every non-trivial k.
+    for point in points:
+        if point.k >= 20:
+            assert point.time_ratio > 1.0

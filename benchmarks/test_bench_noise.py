@@ -1,0 +1,41 @@
+"""Benchmark: robustness to contamination (outlier-split extension).
+
+Real cells carry anomalous measurements; this sweep contaminates a cell
+with a uniform background at 0/1/5% and scores each summary on the
+*clean* signal.  The outlier-split extension (tail stored exactly, body
+summarised) must degrade less than the plain pipeline as contamination
+grows.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.noise_study import render_noise_study, run_noise_study
+
+
+def test_bench_noise_robustness(benchmark):
+    points = benchmark.pedantic(
+        lambda: run_noise_study(
+            epsilons=(0.0, 0.01, 0.05),
+            n_points=8_000,
+            k=40,
+            restarts=3,
+            n_chunks=8,
+            seed=0,
+            max_iter=100,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    print()
+    print(render_noise_study(points))
+
+    dirty = points[-1]  # 5% contamination
+    # The robust variant must beat the plain pipeline once noise is real.
+    assert dirty.robust_mse <= dirty.split_mse
+    # The split must catch most of the injected junk.
+    assert dirty.tail_captured > 0.5
+    # And robustness must not come at a catastrophic clean-data cost:
+    # the robust variant stays within the k-means class on clean data.
+    clean = points[0]
+    assert clean.robust_mse < clean.split_mse * 5 + 1.0

@@ -1,0 +1,88 @@
+"""Benchmark: the Figure-2 parallelization taxonomy (Methods A, B, C).
+
+The paper analyses (Section 2.1) why the conventional parallelizations do
+not remove the memory bottleneck: Method A/B still require a whole cell in
+one machine's memory; Method C divides memory but pays per-iteration
+message passing.  This benchmark measures all three on the same cell and
+prints Method C's communication ledger next to partial/merge's one-shot
+exchange.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.parallel_methods import (
+    method_a_cells_in_parallel,
+    method_b_restarts_in_parallel,
+    method_c_distance_partitioned,
+)
+from repro.core.pipeline import PartialMergeKMeans
+from repro.data.generator import generate_cell_points
+
+_N_POINTS = 10_000
+_K = 40
+_SLAVES = 4
+
+
+def test_bench_method_a(benchmark):
+    cells = {
+        f"cell{i}": generate_cell_points(_N_POINTS // 4, seed=i) for i in range(4)
+    }
+    models = benchmark.pedantic(
+        lambda: method_a_cells_in_parallel(
+            cells, k=_K, restarts=2, max_workers=4, seed=0, max_iter=60
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert set(models) == set(cells)
+
+
+def test_bench_method_b(benchmark):
+    points = generate_cell_points(_N_POINTS, seed=1)
+    model = benchmark.pedantic(
+        lambda: method_b_restarts_in_parallel(
+            points, k=_K, restarts=4, max_workers=4, seed=0, max_iter=60
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert model.mse == min(model.extra["restart_mses"])
+
+
+def test_bench_method_c_vs_partial_merge(benchmark):
+    """Method C's per-iteration messaging vs partial/merge's single pass."""
+    points = generate_cell_points(_N_POINTS, seed=1)
+
+    model_c, stats = benchmark.pedantic(
+        lambda: method_c_distance_partitioned(
+            points, k=_K, n_slaves=_SLAVES, seed=0, max_iter=60
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    report = PartialMergeKMeans(
+        k=_K, restarts=2, n_chunks=_SLAVES, max_iter=60, seed=0
+    ).fit(points)
+
+    # Partial/merge communication: each point shipped once to a partition,
+    # each partition returns k weighted centroids once.
+    pm_messages = _N_POINTS + _SLAVES * _K
+    c_messages = stats.migrated_points + stats.broadcasts * _K
+
+    print()
+    print(
+        f"Method C       : {stats.iterations} iterations, "
+        f"{stats.migrated_points} migrated points, "
+        f"{stats.broadcasts} broadcasts (~{c_messages} unit messages)"
+    )
+    print(
+        f"partial/merge  : single pass, ~{pm_messages} unit messages, "
+        f"mse={report.model.mse:.2f} vs method-C mse={model_c.mse:.2f}"
+    )
+
+    # Shape: Method C keeps exchanging messages every iteration; its
+    # total broadcast count alone must exceed the merge step's entire
+    # centroid traffic.
+    assert stats.broadcasts * _K > _SLAVES * _K
+    assert stats.iterations > 1

@@ -1,0 +1,74 @@
+"""Benchmark: regenerate the paper's Table 2.
+
+Paper reference (Table 2, ms on 2.8 GHz P4 / JDK 1.3; shape target):
+
+    75,000 points: 10split t=2,028,978 mse=15,680 | serial t=5,908,854
+                   mse=105,020  -> 10split ~3x faster, ~6.7x lower MSE
+     2,500 points: serial and 5split comparable; 10split MSE poor
+       250 points: serial fastest (splits pay pure overhead)
+
+The benchmark times one representative partial/merge run; the full table
+(every size x case, averaged over dataset versions) is printed from the
+session-wide grid results and its shape is asserted.
+"""
+
+from __future__ import annotations
+
+from repro.core.pipeline import PartialMergeKMeans
+from repro.data.generator import generate_cell_points
+from repro.experiments.tables import render_table2, table2_rows
+
+
+def test_bench_table2(benchmark, grid_results):
+    """Time one 5-split partial/merge run and print the regenerated table."""
+    config = grid_results.config
+    mid_size = config.sizes[len(config.sizes) // 2]
+    points = generate_cell_points(mid_size, seed=config.seed)
+
+    def one_case():
+        return PartialMergeKMeans(
+            k=config.k,
+            restarts=config.restarts,
+            n_chunks=5,
+            max_iter=config.max_iter,
+            seed=0,
+        ).fit(points)
+
+    benchmark.pedantic(one_case, rounds=1, iterations=1)
+
+    print()
+    print(render_table2(grid_results))
+
+    rows = {
+        (row["data_pts"], row["case"]): row for row in table2_rows(grid_results)
+    }
+    largest = max(config.sizes)
+    smallest = min(config.sizes)
+    split_cases = [case for case in config.cases if case != "serial"]
+
+    # Shape 1: at the largest N, every split case beats serial end-to-end.
+    for case in split_cases:
+        assert (
+            rows[(largest, case)]["overall_s"]
+            < rows[(largest, "serial")]["overall_s"]
+        )
+
+    # Shape 2: at the largest N, the paper-metric MSE of the biggest split
+    # is far below serial (paper: 15,680 vs 105,020).
+    biggest_split = split_cases[-1]
+    assert (
+        rows[(largest, biggest_split)]["min_mse"]
+        < rows[(largest, "serial")]["min_mse"]
+    )
+
+    # Shape 3: at the smallest N, serial is at least as fast (splits pay
+    # overhead; paper: 10x slower for partial/merge at N=250).
+    fastest_split = min(rows[(smallest, case)]["overall_s"] for case in split_cases)
+    assert rows[(smallest, "serial")]["overall_s"] <= fastest_split * 1.5
+
+    # Shape 4: merge time is a small fraction of partial time at scale.
+    for case in split_cases:
+        assert (
+            rows[(largest, case)]["t_merge_s"]
+            < rows[(largest, case)]["t_partial_s"]
+        )

@@ -1,0 +1,83 @@
+"""Compare partial/merge against every implemented clustering baseline.
+
+One grid cell, identical k, every algorithm in the library: serial
+k-means, partial/merge (5- and 10-split), STREAM/LOCALSEARCH, BIRCH,
+mini-batch k-means, and ECVQ (which chooses its own effective k).
+
+Run:  python examples/baseline_comparison.py
+"""
+
+import numpy as np
+
+from repro.baselines import Birch, MiniBatchKMeans, SerialKMeans, StreamLocalSearch
+from repro.core import PartialMergeKMeans, ecvq
+from repro.core.quality import mse
+from repro.data import generate_cell_points
+
+
+def main() -> None:
+    points = generate_cell_points(n_points=15_000, seed=9)
+    k = 40
+
+    rows: list[tuple[str, float, float, str]] = []
+
+    model = SerialKMeans(k, restarts=5, seed=0).fit(points)
+    rows.append(("serial k-means", mse(points, model.centroids),
+                 model.total_seconds, f"k={model.k}"))
+
+    for n_chunks in (5, 10):
+        report = PartialMergeKMeans(
+            k=k, restarts=5, n_chunks=n_chunks, seed=0
+        ).fit(points)
+        rows.append((
+            f"partial/merge {n_chunks}-split",
+            report.model.mse,
+            report.model.total_seconds,
+            f"k={report.model.k}",
+        ))
+
+    stream_model = StreamLocalSearch(
+        k, batch_size=3_000, restarts=3, seed=0
+    ).fit(points)
+    rows.append((
+        "STREAM/LOCALSEARCH",
+        stream_model.mse,
+        stream_model.total_seconds,
+        f"{stream_model.extra['compressions']} compressions",
+    ))
+
+    birch_model = Birch(k, threshold=2.5).fit(points)
+    rows.append((
+        "BIRCH",
+        birch_model.mse,
+        birch_model.total_seconds,
+        f"{birch_model.extra['leaf_cf_count']} leaf CFs",
+    ))
+
+    minibatch_model = MiniBatchKMeans(k, batch_size=512, seed=0).fit(points)
+    rows.append((
+        "mini-batch k-means",
+        minibatch_model.mse,
+        minibatch_model.total_seconds,
+        f"{minibatch_model.extra['steps']} steps",
+    ))
+
+    ecvq_result = ecvq(points, max_k=2 * k, lam=2.0, rng=np.random.default_rng(0))
+    rows.append((
+        "ECVQ (adaptive k)",
+        mse(points, ecvq_result.summary.centroids),
+        float("nan"),
+        f"effective k={ecvq_result.effective_k}, "
+        f"rate={ecvq_result.rate_bits:.2f} bits",
+    ))
+
+    header = f"{'algorithm':<24} {'MSE':>10} {'time (s)':>9}   notes"
+    print(header)
+    print("-" * len(header))
+    for name, model_mse, seconds, notes in rows:
+        time_text = f"{seconds:9.2f}" if seconds == seconds else "        -"
+        print(f"{name:<24} {model_mse:>10.2f} {time_text}   {notes}")
+
+
+if __name__ == "__main__":
+    main()

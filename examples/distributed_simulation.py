@@ -1,0 +1,106 @@
+"""Simulate the paper's 4-PC deployment on this machine.
+
+The original evaluation ran on four Pentium-4 PCs connected by a gigabit
+switch.  This example anchors an event-driven cluster simulator to the
+*real* Lloyd-kernel throughput of the current host, then replays the
+partial/merge query and Method C on 1, 2 and 4 simulated machines:
+
+1. calibrate distance-ops/second by timing the actual kernel,
+2. simulate partial/merge: chunk shipping, cloned partial operators,
+   centroid collection, coordinator merge,
+3. simulate Method C's per-iteration broadcast + migration traffic,
+4. compare makespans, utilization and bytes on the wire.
+
+Run:  python examples/distributed_simulation.py
+"""
+
+from repro.stream.distributed import (
+    DistributedSimulation,
+    calibrate_ops_per_second,
+    paper_testbed,
+)
+from repro.stream.tracing import render_gantt
+
+N_POINTS = 75_000
+DIM = 6
+K = 40
+CHUNKS = 12
+RESTARTS = 10
+PARTIAL_ITERATIONS = 17.0  # measured by the convergence study at this scale
+
+
+def main() -> None:
+    ops = calibrate_ops_per_second()
+    print(f"host kernel throughput: {ops:.2e} distance-ops/s (measured)\n")
+
+    print("partial/merge on the simulated testbed "
+          f"(N={N_POINTS:,}, k={K}, {CHUNKS} chunks, R={RESTARTS}):")
+    print(f"{'machines':>9} {'makespan':>9} {'speedup':>8} "
+          f"{'min util':>9} {'network':>9}")
+    baseline = None
+    for n_machines in (1, 2, 4):
+        sim = DistributedSimulation(
+            paper_testbed(n_machines, ops_per_second=ops)
+        )
+        report = sim.simulate_partial_merge(
+            n_points=N_POINTS,
+            dim=DIM,
+            k=K,
+            n_chunks=CHUNKS,
+            restarts=RESTARTS,
+            partial_iterations=PARTIAL_ITERATIONS,
+        )
+        baseline = baseline or report.makespan_seconds
+        print(
+            f"{n_machines:>9} {report.makespan_seconds:>8.2f}s "
+            f"{baseline / report.makespan_seconds:>8.2f} "
+            f"{min(report.utilization().values()):>9.0%} "
+            f"{report.network_bytes / 1e6:>7.1f}MB"
+        )
+
+    four_machine = DistributedSimulation(
+        paper_testbed(4, ops_per_second=ops)
+    ).simulate_partial_merge(
+        n_points=N_POINTS,
+        dim=DIM,
+        k=K,
+        n_chunks=CHUNKS,
+        restarts=RESTARTS,
+        partial_iterations=PARTIAL_ITERATIONS,
+    )
+    print()
+    print(render_gantt(four_machine))
+
+    print("\nMethod C on the same 4 machines (50 Lloyd iterations):")
+    sim = DistributedSimulation(paper_testbed(4, ops_per_second=ops))
+    method_c = sim.simulate_method_c(
+        n_points=N_POINTS, dim=DIM, k=K, iterations=50
+    )
+    partial = sim.simulate_partial_merge(
+        n_points=N_POINTS,
+        dim=DIM,
+        k=K,
+        n_chunks=CHUNKS,
+        restarts=RESTARTS,
+        partial_iterations=PARTIAL_ITERATIONS,
+    )
+    print(
+        f"  method C      : makespan {method_c.makespan_seconds:.2f}s "
+        f"(single run; x{RESTARTS} restarts = "
+        f"{method_c.makespan_seconds * RESTARTS:.2f}s), "
+        f"{method_c.network_bytes / 1e6:.1f} MB on the wire per run"
+    )
+    print(
+        f"  partial/merge : makespan {partial.makespan_seconds:.2f}s "
+        f"(includes all {RESTARTS} restarts), "
+        f"{partial.network_bytes / 1e6:.1f} MB on the wire"
+    )
+    print(
+        "\nMethod C exchanges means and migrating points every iteration;"
+        "\npartial/merge ships each point once and each partition's k"
+        "\nweighted centroids once — the paper's communication argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

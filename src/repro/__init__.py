@@ -1,0 +1,27 @@
+"""repro — partial/merge k-means over a data-stream engine.
+
+A complete reproduction of Nittel, Leung & Braverman, *Scaling Clustering
+Algorithms for Massive Data Sets using Data Streams* (ICDE 2004):
+
+* :mod:`repro.core` — the partial/merge k-means contribution.
+* :mod:`repro.stream` — a Conquest-style pipelined stream engine.
+* :mod:`repro.data` — MISR-like synthetic grid cells, swath simulation,
+  grid-bucket IO, and partitioning strategies.
+* :mod:`repro.baselines` — serial k-means, Figure-2 parallel methods,
+  LOCALSEARCH streaming k-means, BIRCH, and mini-batch k-means.
+* :mod:`repro.compression` — the motivating multivariate-histogram
+  compression application.
+* :mod:`repro.experiments` — harness regenerating every table and figure.
+"""
+
+from repro.core import PartialMergeKMeans, lloyd, merge_kmeans, partial_kmeans
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PartialMergeKMeans",
+    "lloyd",
+    "merge_kmeans",
+    "partial_kmeans",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Baselines the paper compares against (or situates itself among).
+
+* :class:`~repro.baselines.serial.SerialKMeans` — the paper's comparator.
+* :mod:`~repro.baselines.parallel_methods` — Figure 2's Methods A/B/C.
+* :class:`~repro.baselines.localsearch.StreamLocalSearch` — the
+  LOCALSEARCH/STREAM related work.
+* :class:`~repro.baselines.birch.Birch` — CF-tree clustering.
+* :class:`~repro.baselines.minibatch.MiniBatchKMeans` — modern comparator.
+"""
+
+from repro.baselines.birch import Birch, CFEntry, CFNode
+from repro.baselines.clarans import Clarans
+from repro.baselines.cure import Cure
+from repro.baselines.localsearch import StreamLocalSearch
+from repro.baselines.minibatch import MiniBatchKMeans
+from repro.baselines.parallel_methods import (
+    MethodCStats,
+    method_a_cells_in_parallel,
+    method_b_restarts_in_parallel,
+    method_c_distance_partitioned,
+)
+from repro.baselines.serial import SerialKMeans
+
+__all__ = [
+    "Birch",
+    "CFEntry",
+    "CFNode",
+    "Clarans",
+    "Cure",
+    "StreamLocalSearch",
+    "MiniBatchKMeans",
+    "MethodCStats",
+    "method_a_cells_in_parallel",
+    "method_b_restarts_in_parallel",
+    "method_c_distance_partitioned",
+    "SerialKMeans",
+]

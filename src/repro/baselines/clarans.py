@@ -1,0 +1,130 @@
+"""CLARANS (Ng & Han, VLDB'94) — randomized k-medoids baseline.
+
+Cited by the paper as the database-community partitional method for
+spatial data mining ("related work that deals with the partitional
+clustering of large spaces such as CLARANS").  The algorithm views the
+solution space as a graph whose nodes are k-medoid sets, adjacent when
+they differ in one medoid, and performs ``numlocal`` randomized descents
+of at most ``maxneighbor`` attempted swaps each.
+
+Cost is the k-medoids objective: the sum of distances (not squared)
+from each point to its nearest medoid.  The returned
+:class:`~repro.core.model.ClusterModel` reports the usual squared-error
+MSE so it is directly comparable to the k-means family.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+from repro.core.model import ClusterModel, as_points
+from repro.core.quality import mse as evaluate_mse
+
+__all__ = ["Clarans"]
+
+
+class Clarans:
+    """Randomized k-medoids search.
+
+    Args:
+        k: number of medoids.
+        numlocal: independent descents (the paper's recommended 2).
+        maxneighbor: attempted swaps before declaring a local optimum
+            (Ng & Han suggest max(250, 1.25% of k(n-k))); ``None`` uses
+            that formula.
+        seed: RNG seed.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.baselines.clarans import Clarans
+        >>> data = np.random.default_rng(0).normal(size=(300, 4))
+        >>> model = Clarans(k=5, numlocal=1, maxneighbor=50, seed=0).fit(data)
+        >>> model.method
+        'clarans'
+    """
+
+    def __init__(
+        self,
+        k: int,
+        numlocal: int = 2,
+        maxneighbor: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if numlocal < 1:
+            raise ValueError(f"numlocal must be >= 1, got {numlocal}")
+        if maxneighbor is not None and maxneighbor < 1:
+            raise ValueError(f"maxneighbor must be >= 1, got {maxneighbor}")
+        self.k = k
+        self.numlocal = numlocal
+        self.maxneighbor = maxneighbor
+        self._rng = np.random.default_rng(seed)
+
+    def _cost(self, points: np.ndarray, medoid_idx: np.ndarray) -> float:
+        distances = cdist(points, points[medoid_idx])
+        return float(distances.min(axis=1).sum())
+
+    def fit(self, points: np.ndarray) -> ClusterModel:
+        """Run the randomized descent and return the best medoid set."""
+        pts = as_points(points)
+        n = pts.shape[0]
+        k = min(self.k, n)
+        maxneighbor = (
+            self.maxneighbor
+            if self.maxneighbor is not None
+            else max(250, int(0.0125 * k * (n - k)))
+        )
+
+        start = time.perf_counter()
+        best_idx: np.ndarray | None = None
+        best_cost = np.inf
+        swaps_tried_total = 0
+
+        for __ in range(self.numlocal):
+            current = self._rng.choice(n, size=k, replace=False)
+            current_cost = self._cost(pts, current)
+            rejected = 0
+            while rejected < maxneighbor:
+                swaps_tried_total += 1
+                # Random neighbour: swap one medoid for one non-medoid.
+                position = int(self._rng.integers(k))
+                candidates = np.setdiff1d(
+                    np.arange(n), current, assume_unique=False
+                )
+                if candidates.size == 0:
+                    break
+                replacement = int(self._rng.choice(candidates))
+                neighbour = current.copy()
+                neighbour[position] = replacement
+                neighbour_cost = self._cost(pts, neighbour)
+                if neighbour_cost < current_cost:
+                    current, current_cost = neighbour, neighbour_cost
+                    rejected = 0
+                else:
+                    rejected += 1
+            if current_cost < best_cost:
+                best_idx, best_cost = current, current_cost
+
+        assert best_idx is not None
+        elapsed = time.perf_counter() - start
+        medoids = pts[best_idx].copy()
+        d2 = cdist(pts, medoids, metric="sqeuclidean")
+        assignments = np.argmin(d2, axis=1)
+        weights = np.bincount(assignments, minlength=k).astype(float)
+        occupied = weights > 0
+        return ClusterModel(
+            centroids=medoids[occupied],
+            weights=weights[occupied],
+            mse=evaluate_mse(pts, medoids[occupied]),
+            method="clarans",
+            total_seconds=elapsed,
+            extra={
+                "medoid_cost": best_cost,
+                "swaps_tried": swaps_tried_total,
+                "maxneighbor": maxneighbor,
+            },
+        )

@@ -1,0 +1,91 @@
+"""Mini-batch k-means (Sculley 2010) — the modern streaming comparator.
+
+Not part of the paper (it predates mini-batch k-means), but the natural
+present-day point of comparison for partial/merge: a single pass of small
+random batches with per-center learning-rate updates.  Included so the
+benchmark suite can situate the 2004 algorithm against what a practitioner
+would reach for today.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.model import ClusterModel, as_points
+from repro.core.quality import mse as evaluate_mse, pairwise_sq_distances
+from repro.core.seeding import distinct_random_seeds
+
+__all__ = ["MiniBatchKMeans"]
+
+
+class MiniBatchKMeans:
+    """Single-pass mini-batch k-means with per-center learning rates.
+
+    Args:
+        k: number of centroids.
+        batch_size: points sampled per update step.
+        n_batches: update steps; ``None`` sizes it so that roughly one
+            epoch of the data is consumed.
+        seed: RNG seed.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.baselines import MiniBatchKMeans
+        >>> data = np.random.default_rng(0).normal(size=(2000, 6))
+        >>> model = MiniBatchKMeans(k=10, batch_size=200, seed=0).fit(data)
+        >>> model.k
+        10
+    """
+
+    def __init__(
+        self,
+        k: int,
+        batch_size: int = 256,
+        n_batches: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.k = k
+        self.batch_size = batch_size
+        self.n_batches = n_batches
+        self._rng = np.random.default_rng(seed)
+
+    def fit(self, points: np.ndarray) -> ClusterModel:
+        """Run the configured number of mini-batch updates."""
+        pts = as_points(points)
+        n = pts.shape[0]
+        steps = (
+            self.n_batches
+            if self.n_batches is not None
+            else max(1, -(-n // self.batch_size))
+        )
+
+        start = time.perf_counter()
+        centroids = distinct_random_seeds(pts, self.k, self._rng)
+        counts = np.zeros(centroids.shape[0], dtype=np.float64)
+
+        for __ in range(steps):
+            take = min(self.batch_size, n)
+            batch = pts[self._rng.choice(n, size=take, replace=False)]
+            d2 = pairwise_sq_distances(batch, centroids)
+            nearest = np.argmin(d2, axis=1)
+            for point, center_index in zip(batch, nearest):
+                counts[center_index] += 1.0
+                rate = 1.0 / counts[center_index]
+                centroids[center_index] += rate * (point - centroids[center_index])
+        elapsed = time.perf_counter() - start
+
+        weights = np.maximum(counts, 1e-12)
+        return ClusterModel(
+            centroids=centroids,
+            weights=weights,
+            mse=evaluate_mse(pts, centroids),
+            method="minibatch",
+            total_seconds=elapsed,
+            extra={"batch_size": self.batch_size, "steps": steps},
+        )

@@ -1,0 +1,49 @@
+"""The paper's motivating application: grid-cell compression.
+
+* :class:`~repro.compression.codebook.Codebook` — VQ encode/decode.
+* :class:`~repro.compression.histogram.MultivariateHistogram` —
+  non-equi-depth adaptive buckets built from a cluster model.
+* :mod:`~repro.compression.metrics` — fidelity scoring.
+"""
+
+from repro.compression.codebook import Codebook
+from repro.compression.global_summary import GlobalSummary, Region
+from repro.compression.histogram import HistogramBucket, MultivariateHistogram
+from repro.compression.outliers import (
+    OutlierSplit,
+    compress_with_outliers,
+    split_outliers,
+)
+from repro.compression.sampling import sample_compress
+from repro.compression.metrics import (
+    moment_preservation_error,
+    random_query_boxes,
+    range_query_relative_errors,
+)
+from repro.compression.serialization import (
+    HistogramFormatError,
+    read_histogram_file,
+    read_summary_dir,
+    write_histogram_file,
+    write_summary_dir,
+)
+
+__all__ = [
+    "Codebook",
+    "sample_compress",
+    "OutlierSplit",
+    "compress_with_outliers",
+    "split_outliers",
+    "GlobalSummary",
+    "Region",
+    "HistogramBucket",
+    "MultivariateHistogram",
+    "moment_preservation_error",
+    "random_query_boxes",
+    "range_query_relative_errors",
+    "HistogramFormatError",
+    "read_histogram_file",
+    "read_summary_dir",
+    "write_histogram_file",
+    "write_summary_dir",
+]

@@ -1,0 +1,90 @@
+"""Vector-quantization codebook built from a cluster model.
+
+The paper's motivating application substitutes a grid cell's points with
+its cluster centroids: the centroids are the codebook, each point is
+encoded as the index of its nearest centroid, and the decoded data set is
+the centroid sequence.  This module provides that encode/decode pair plus
+its rate/distortion accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import ClusterModel, as_points
+from repro.core.quality import assign_to_nearest
+
+__all__ = ["Codebook"]
+
+
+@dataclass(frozen=True)
+class Codebook:
+    """A VQ codebook: the centroids of a cluster model.
+
+    Attributes:
+        centroids: ``(k, d)`` code vectors.
+    """
+
+    centroids: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "centroids", as_points(self.centroids))
+
+    @staticmethod
+    def from_model(model: ClusterModel) -> "Codebook":
+        """Build a codebook from any :class:`ClusterModel`."""
+        return Codebook(centroids=model.centroids)
+
+    @property
+    def k(self) -> int:
+        """Codebook size."""
+        return self.centroids.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Code-vector dimensionality."""
+        return self.centroids.shape[1]
+
+    @property
+    def bits_per_point(self) -> int:
+        """Fixed-rate code length: ``ceil(log2 k)`` bits per point."""
+        return max(1, int(np.ceil(np.log2(self.k))))
+
+    def encode(self, points: np.ndarray) -> np.ndarray:
+        """Encode points as nearest-centroid indices, shape ``(n,)``."""
+        pts = as_points(points)
+        if pts.shape[1] != self.dim:
+            raise ValueError(
+                f"points have dimension {pts.shape[1]}, codebook has {self.dim}"
+            )
+        indices, __ = assign_to_nearest(pts, self.centroids)
+        return indices
+
+    def decode(self, indices: np.ndarray) -> np.ndarray:
+        """Decode indices back into code vectors, shape ``(n, d)``."""
+        idx = np.asarray(indices)
+        if idx.ndim != 1:
+            raise ValueError("indices must be 1-dimensional")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.k):
+            raise ValueError("index out of codebook range")
+        return self.centroids[idx]
+
+    def distortion(self, points: np.ndarray) -> float:
+        """Mean squared reconstruction error of round-tripping ``points``."""
+        pts = as_points(points)
+        decoded = self.decode(self.encode(pts))
+        return float(((pts - decoded) ** 2).sum(axis=1).mean())
+
+    def compression_ratio(self, n_points: int) -> float:
+        """Raw bytes over compressed bytes for ``n_points`` float64 points.
+
+        Compressed size counts the codebook itself (k·d float64) plus the
+        index stream at :attr:`bits_per_point`.
+        """
+        if n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {n_points}")
+        raw_bytes = n_points * self.dim * 8
+        compressed_bytes = self.k * self.dim * 8 + n_points * self.bits_per_point / 8
+        return raw_bytes / compressed_bytes

@@ -1,0 +1,169 @@
+"""Global summaries assembled from per-cell compressed representations.
+
+The point of compressing EOS grid cells (paper Section 1) is that
+scientists then *analyse the compressed data*: global and regional
+statistics are computed from the per-cell histograms instead of the raw
+TB-scale archive.  :class:`GlobalSummary` is that analysis layer — a
+collection of per-cell multivariate histograms keyed by grid cell,
+supporting:
+
+* global / regional weighted means of every attribute,
+* regional point counts and attribute-range selectivity estimates,
+* dense lat/lon coverage grids of any per-cell statistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.compression.histogram import MultivariateHistogram
+from repro.data.gridcell import GridCellId
+
+__all__ = ["Region", "GlobalSummary"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """A latitude/longitude rectangle (inclusive of touched cells).
+
+    Attributes:
+        lat_min: southern edge in degrees.
+        lat_max: northern edge in degrees.
+        lon_min: western edge in degrees.
+        lon_max: eastern edge in degrees.
+    """
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+
+    def __post_init__(self) -> None:
+        if self.lat_min > self.lat_max:
+            raise ValueError("lat_min must be <= lat_max")
+        if self.lon_min > self.lon_max:
+            raise ValueError("lon_min must be <= lon_max")
+
+    def contains_cell(self, cell: GridCellId) -> bool:
+        """Whether the 1°×1° cell intersects the region."""
+        return (
+            self.lat_min - 1 < cell.lat <= self.lat_max
+            and self.lon_min - 1 < cell.lon <= self.lon_max
+        )
+
+    @staticmethod
+    def globe() -> "Region":
+        """The whole planet."""
+        return Region(-90.0, 90.0, -180.0, 180.0)
+
+
+@dataclass
+class GlobalSummary:
+    """Per-cell histograms plus cross-cell analysis.
+
+    Attributes:
+        dim: attribute count shared by every cell.
+    """
+
+    dim: int
+    _cells: dict[GridCellId, MultivariateHistogram] = field(default_factory=dict)
+
+    def add_cell(self, cell_id: GridCellId, histogram: MultivariateHistogram) -> None:
+        """Register (or replace) one cell's compressed representation."""
+        if histogram.dim != self.dim:
+            raise ValueError(
+                f"histogram dim {histogram.dim} does not match summary dim {self.dim}"
+            )
+        self._cells[cell_id] = histogram
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __contains__(self, cell_id: GridCellId) -> bool:
+        return cell_id in self._cells
+
+    def cell(self, cell_id: GridCellId) -> MultivariateHistogram:
+        """One cell's histogram (KeyError if absent)."""
+        return self._cells[cell_id]
+
+    def cells_in(self, region: Region) -> list[GridCellId]:
+        """Cells intersecting ``region``, sorted."""
+        return sorted(c for c in self._cells if region.contains_cell(c))
+
+    # -- statistics ----------------------------------------------------------
+
+    def total_count(self, region: Region | None = None) -> float:
+        """Points summarised inside ``region`` (whole globe if ``None``)."""
+        chosen = self.cells_in(region) if region is not None else list(self._cells)
+        return sum(self._cells[c].total_count for c in chosen)
+
+    def mean(self, region: Region | None = None) -> np.ndarray:
+        """Count-weighted attribute mean over ``region``.
+
+        Exact for the decoded representation: each bucket contributes its
+        centroid weighted by its count, which preserves every cell's true
+        mean (cluster centroids are cluster means).
+        """
+        chosen = self.cells_in(region) if region is not None else list(self._cells)
+        if not chosen:
+            raise ValueError("no cells in the requested region")
+        accumulator = np.zeros(self.dim)
+        mass = 0.0
+        for cell_id in chosen:
+            centroids, counts = self._cells[cell_id].reconstruct()
+            accumulator += (centroids * counts[:, None]).sum(axis=0)
+            mass += counts.sum()
+        return accumulator / mass
+
+    def estimate_count(
+        self,
+        lower: np.ndarray,
+        upper: np.ndarray,
+        region: Region | None = None,
+    ) -> float:
+        """Estimated points with attributes in ``[lower, upper]``.
+
+        Sums each selected cell's histogram selectivity estimate; the
+        classic "how many cloudy-bright-cold pixels in this region"
+        query answered without touching raw data.
+        """
+        chosen = self.cells_in(region) if region is not None else list(self._cells)
+        return sum(
+            self._cells[c].estimate_count(lower, upper) for c in chosen
+        )
+
+    def coverage_grid(self, statistic: str = "count") -> np.ndarray:
+        """Dense 180×360 lat/lon grid of a per-cell statistic.
+
+        Args:
+            statistic: ``"count"`` (points per cell) or ``"buckets"``
+                (histogram size per cell).  Cells without data are 0.
+
+        Returns:
+            ``(180, 360)`` array indexed ``[lat + 90, lon + 180]``.
+        """
+        if statistic not in ("count", "buckets"):
+            raise ValueError(f"unknown statistic {statistic!r}")
+        grid = np.zeros((180, 360))
+        for cell_id, histogram in self._cells.items():
+            value = (
+                histogram.total_count
+                if statistic == "count"
+                else float(len(histogram.buckets))
+            )
+            grid[cell_id.lat + 90, cell_id.lon + 180] = value
+        return grid
+
+    def storage_floats(self) -> int:
+        """Total float64 slots across all cell histograms."""
+        return sum(h.storage_floats() for h in self._cells.values())
+
+    def compression_ratio(self) -> float:
+        """Raw floats over stored floats for the whole summary."""
+        raw = self.total_count() * self.dim
+        stored = self.storage_floats()
+        if stored == 0:
+            raise ValueError("summary is empty")
+        return raw / stored

@@ -1,0 +1,130 @@
+"""Outlier separation for compression.
+
+Far-tail points distort cluster-based summaries: one anomalous
+measurement stretches its bucket's bounding box across half the space,
+ruining the histogram's selectivity estimates.  The standard remedy
+(used by CURE and by practical VQ codecs) is to store the tail
+literally: split off the points farthest from their centroid and keep
+them as an exact side list, compressing only the body.
+
+:func:`split_outliers` performs the split;
+:func:`compress_with_outliers` is the convenience wrapper producing a
+histogram over the body plus the exact outlier block, with combined
+storage accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.compression.histogram import MultivariateHistogram
+from repro.core.model import ClusterModel, as_points
+from repro.core.quality import assign_to_nearest
+
+__all__ = ["OutlierSplit", "split_outliers", "compress_with_outliers"]
+
+
+@dataclass(frozen=True)
+class OutlierSplit:
+    """A body/tail partition of a cell.
+
+    Attributes:
+        body: ``(n_body, d)`` points kept for lossy summarisation.
+        outliers: ``(n_out, d)`` far-tail points to store exactly.
+        threshold: squared-distance cutoff that separated them.
+    """
+
+    body: np.ndarray
+    outliers: np.ndarray
+    threshold: float
+
+    @property
+    def outlier_fraction(self) -> float:
+        total = self.body.shape[0] + self.outliers.shape[0]
+        return self.outliers.shape[0] / total if total else 0.0
+
+
+def split_outliers(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    quantile: float = 0.99,
+) -> OutlierSplit:
+    """Split off points beyond the given quantile of quantization error.
+
+    Args:
+        points: the cell's data.
+        centroids: the summary the error is measured against.
+        quantile: points whose squared distance to their nearest centroid
+            exceeds this quantile become outliers.
+
+    Returns:
+        An :class:`OutlierSplit`; ``body`` is never empty.
+    """
+    pts = as_points(points)
+    if not 0.0 < quantile < 1.0:
+        raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+    __, sq = assign_to_nearest(pts, as_points(centroids))
+    threshold = float(np.quantile(sq, quantile))
+    tail = sq > threshold
+    if tail.all():
+        tail = np.zeros_like(tail)
+    return OutlierSplit(
+        body=pts[~tail],
+        outliers=pts[tail],
+        threshold=threshold,
+    )
+
+
+@dataclass(frozen=True)
+class _OutlierCompressed:
+    """Histogram over the body plus an exact tail."""
+
+    histogram: MultivariateHistogram
+    outliers: np.ndarray
+    threshold: float
+
+    def storage_floats(self) -> int:
+        """Histogram floats plus the literal outlier block."""
+        return self.histogram.storage_floats() + self.outliers.size
+
+    def estimate_count(self, lower: np.ndarray, upper: np.ndarray) -> float:
+        """Range-count estimate: histogram body + exact tail count."""
+        inside = (
+            np.logical_and(self.outliers >= lower, self.outliers <= upper)
+            .all(axis=1)
+            .sum()
+            if self.outliers.size
+            else 0
+        )
+        return self.histogram.estimate_count(lower, upper) + float(inside)
+
+    @property
+    def total_count(self) -> float:
+        return self.histogram.total_count + self.outliers.shape[0]
+
+
+def compress_with_outliers(
+    points: np.ndarray,
+    model: ClusterModel,
+    quantile: float = 0.99,
+) -> _OutlierCompressed:
+    """Histogram over the body, exact storage for the far tail.
+
+    Args:
+        points: the cell's data.
+        model: the cluster model driving bucket shapes.
+        quantile: tail cutoff (see :func:`split_outliers`).
+
+    Returns:
+        A compressed representation answering the same queries as a
+        plain histogram, with the tail answered exactly.
+    """
+    split = split_outliers(points, model.centroids, quantile=quantile)
+    histogram = MultivariateHistogram.from_model(split.body, model)
+    return _OutlierCompressed(
+        histogram=histogram,
+        outliers=split.outliers,
+        threshold=split.threshold,
+    )

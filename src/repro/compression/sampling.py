@@ -1,0 +1,60 @@
+"""Random-sampling compression baseline.
+
+The paper's related work cites random sampling for histogram
+construction (Chaudhuri, Motwani & Narasayya, SIGMOD'98) as the cheap
+alternative to clustering-based summaries.  This module implements that
+baseline so the compression benchmarks can quantify what the clustering
+buys: a cell is summarised by a uniform random sample of ``k`` points,
+each weighted ``n/k``, with the same downstream interfaces (weighted
+representation, histogram, fidelity metrics) as the cluster model.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.model import ClusterModel, as_points
+
+__all__ = ["sample_compress"]
+
+
+def sample_compress(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+) -> ClusterModel:
+    """Summarise a cell by a uniform random sample of ``k`` points.
+
+    Args:
+        points: ``(n, d)`` cell data.
+        k: sample size (plays the role of the codebook size; clamped to
+            ``n``).
+        rng: randomness.
+
+    Returns:
+        A :class:`ClusterModel` whose "centroids" are the sampled points
+        and whose weights are uniform ``n / k`` — directly comparable
+        with clustering-based models in every metric.
+    """
+    pts = as_points(points)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    sample_size = min(k, pts.shape[0])
+    start = time.perf_counter()
+    idx = rng.choice(pts.shape[0], size=sample_size, replace=False)
+    sample = pts[idx].copy()
+    elapsed = time.perf_counter() - start
+    weights = np.full(sample_size, pts.shape[0] / sample_size)
+
+    from repro.core.quality import mse as evaluate_mse
+
+    return ClusterModel(
+        centroids=sample,
+        weights=weights,
+        mse=evaluate_mse(pts, sample),
+        method="random-sample",
+        total_seconds=elapsed,
+        extra={"sample_size": sample_size},
+    )

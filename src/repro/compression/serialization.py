@@ -1,0 +1,127 @@
+"""On-disk format for compressed cells (.mvh — multivariate histogram).
+
+The compressed products are what actually gets distributed to scientists
+(paper Section 1: "we substitute data sets with compressed
+counterparts"), so they need a stable, compact container:
+
+Layout (little-endian)::
+
+    magic     4 bytes  b"MVH1"
+    lat       int32    cell south edge
+    lon       int32    cell west edge
+    n_buckets uint32
+    dim       uint32
+    per bucket: centroid d f64 | count f64 | lower d f64 | upper d f64
+
+A :class:`~repro.compression.global_summary.GlobalSummary` round-trips
+through a directory of these files.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+
+import numpy as np
+
+from repro.compression.global_summary import GlobalSummary
+from repro.compression.histogram import HistogramBucket, MultivariateHistogram
+from repro.data.gridcell import GridCellId
+
+__all__ = [
+    "HistogramFormatError",
+    "write_histogram_file",
+    "read_histogram_file",
+    "write_summary_dir",
+    "read_summary_dir",
+]
+
+_MAGIC = b"MVH1"
+_HEADER = struct.Struct("<4siiII")
+
+
+class HistogramFormatError(Exception):
+    """A .mvh file is malformed or truncated."""
+
+
+def write_histogram_file(
+    path: str | Path, cell_id: GridCellId, histogram: MultivariateHistogram
+) -> Path:
+    """Serialize one cell's histogram."""
+    target = Path(path)
+    dim = histogram.dim
+    rows = []
+    for bucket in histogram.buckets:
+        rows.append(
+            np.concatenate(
+                [bucket.centroid, [bucket.count], bucket.lower, bucket.upper]
+            )
+        )
+    payload = (
+        np.asarray(rows, dtype="<f8").tobytes() if rows else b""
+    )
+    with open(target, "wb") as handle:
+        handle.write(
+            _HEADER.pack(
+                _MAGIC, cell_id.lat, cell_id.lon, len(histogram.buckets), dim
+            )
+        )
+        handle.write(payload)
+    return target
+
+
+def read_histogram_file(
+    path: str | Path,
+) -> tuple[GridCellId, MultivariateHistogram]:
+    """Deserialize one cell's histogram."""
+    with open(path, "rb") as handle:
+        raw = handle.read(_HEADER.size)
+        if len(raw) != _HEADER.size:
+            raise HistogramFormatError(f"{path}: truncated header")
+        magic, lat, lon, n_buckets, dim = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise HistogramFormatError(f"{path}: bad magic {magic!r}")
+        row_floats = 3 * dim + 1
+        payload = handle.read()
+    expected = n_buckets * row_floats * 8
+    if len(payload) != expected:
+        raise HistogramFormatError(
+            f"{path}: payload is {len(payload)} bytes, expected {expected}"
+        )
+    rows = np.frombuffer(payload, dtype="<f8").reshape(n_buckets, row_floats)
+    buckets = tuple(
+        HistogramBucket(
+            centroid=row[:dim].copy(),
+            count=float(row[dim]),
+            lower=row[dim + 1 : 2 * dim + 1].copy(),
+            upper=row[2 * dim + 1 :].copy(),
+        )
+        for row in rows
+    )
+    return (
+        GridCellId(lat=lat, lon=lon),
+        MultivariateHistogram(buckets=buckets, dim=dim),
+    )
+
+
+def write_summary_dir(directory: str | Path, summary: GlobalSummary) -> list[Path]:
+    """Write every cell of a global summary as ``<key>.mvh`` files."""
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for cell_id in sorted(summary._cells):
+        paths.append(
+            write_histogram_file(
+                root / f"{cell_id.key}.mvh", cell_id, summary.cell(cell_id)
+            )
+        )
+    return paths
+
+
+def read_summary_dir(directory: str | Path, dim: int) -> GlobalSummary:
+    """Assemble a global summary from a directory of ``.mvh`` files."""
+    summary = GlobalSummary(dim=dim)
+    for path in sorted(Path(directory).glob("*.mvh")):
+        cell_id, histogram = read_histogram_file(path)
+        summary.add_cell(cell_id, histogram)
+    return summary

@@ -1,0 +1,124 @@
+"""Invariant checks for cluster models.
+
+Clustering silently produces garbage in ways assertions in downstream
+code rarely catch (lost mass after a merge, a centroid flung outside the
+data's support by a weighting bug, duplicate collapsed centroids).  The
+checks here make those invariants explicit; pipelines call
+:func:`validate_model` at stage boundaries in debug runs, and the test
+suite uses the individual predicates directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import ClusterModel, as_points
+
+__all__ = ["ModelValidationError", "ValidationReport", "validate_model"]
+
+
+class ModelValidationError(Exception):
+    """A cluster model violates one or more invariants."""
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of validating one model.
+
+    Attributes:
+        ok: whether every invariant held.
+        violations: human-readable description of each failure.
+    """
+
+    ok: bool = True
+    violations: list[str] = field(default_factory=list)
+
+    def add(self, message: str) -> None:
+        """Record one violation."""
+        self.ok = False
+        self.violations.append(message)
+
+
+def validate_model(
+    model: ClusterModel,
+    points: np.ndarray | None = None,
+    expected_mass: float | None = None,
+    mass_rtol: float = 1e-6,
+    support_margin: float = 0.0,
+    min_centroid_separation: float = 0.0,
+    raise_on_failure: bool = True,
+) -> ValidationReport:
+    """Check a model's structural invariants.
+
+    Args:
+        model: the model under test.
+        points: when given, centroids must lie within the points'
+            bounding box expanded by ``support_margin`` (a k-means
+            centroid is a convex combination of points, so this is an
+            exact invariant for margin 0).
+        expected_mass: when given, the model's weights must sum to this
+            within ``mass_rtol`` (conservation through partial/merge).
+        mass_rtol: relative tolerance for the mass check.
+        support_margin: absolute slack for the bounding-box check.
+        min_centroid_separation: when positive, flag centroid pairs
+            closer than this (collapsed-merge detector).
+        raise_on_failure: raise :class:`ModelValidationError` instead of
+            returning a failing report.
+
+    Returns:
+        A :class:`ValidationReport` (always ``ok`` when it returns and
+        ``raise_on_failure`` is true).
+    """
+    report = ValidationReport()
+
+    if not np.isfinite(model.centroids).all():
+        report.add("centroids contain NaN or inf")
+    if not np.isfinite(model.weights).all():
+        report.add("weights contain NaN or inf")
+    if (model.weights < 0).any():
+        report.add("weights contain negative values")
+    if model.weights.sum() <= 0:
+        report.add("total weight mass is not positive")
+
+    if expected_mass is not None:
+        actual = float(model.weights.sum())
+        if abs(actual - expected_mass) > mass_rtol * max(expected_mass, 1.0):
+            report.add(
+                f"mass not conserved: expected {expected_mass}, got {actual}"
+            )
+
+    if points is not None:
+        pts = as_points(points)
+        if pts.shape[1] != model.dim:
+            report.add(
+                f"dimensionality mismatch: points {pts.shape[1]}, "
+                f"model {model.dim}"
+            )
+        else:
+            lo = pts.min(axis=0) - support_margin
+            hi = pts.max(axis=0) + support_margin
+            outside = np.logical_or(
+                model.centroids < lo, model.centroids > hi
+            ).any(axis=1)
+            if outside.any():
+                report.add(
+                    f"{int(outside.sum())} centroid(s) outside the data's "
+                    f"bounding box"
+                )
+
+    if min_centroid_separation > 0 and model.k > 1:
+        diffs = model.centroids[:, None, :] - model.centroids[None, :, :]
+        d2 = (diffs**2).sum(axis=2)
+        np.fill_diagonal(d2, np.inf)
+        closest = float(np.sqrt(d2.min()))
+        if closest < min_centroid_separation:
+            report.add(
+                f"centroids collapsed: closest pair at {closest:.3g} < "
+                f"{min_centroid_separation}"
+            )
+
+    if not report.ok and raise_on_failure:
+        raise ModelValidationError("; ".join(report.violations))
+    return report

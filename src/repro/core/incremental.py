@@ -1,0 +1,196 @@
+"""Incremental cluster-model maintenance.
+
+Grid cells are not static: a satellite keeps revisiting, so a cell's
+bucket grows between clustering runs.  The partial/merge decomposition
+gives incremental maintenance for free — an existing
+:class:`~repro.core.model.ClusterModel` is itself a weighted centroid
+set, so folding in new points is: partial k-means on the new chunk, then
+a weighted merge of {old model, new summary}.
+
+:func:`update_model` performs one such fold; :class:`IncrementalClusterer`
+wraps it into a bounded-memory online clusterer whose state is never more
+than ``k`` weighted centroids plus the incoming chunk.
+
+This differs from the rejected *incremental merge* discipline of
+Section 3.3 in scope, not mechanism: there, incremental folding was an
+inferior alternative for a batch of simultaneously-available partitions;
+here it is the only option because the data arrives over time.  The
+paper's fairness caveat therefore applies — earlier data participates in
+more merges — and :attr:`IncrementalClusterer.refresh_every` lets users
+bound the drift by periodically re-merging retained summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.kmeans import DEFAULT_MAX_ITER
+from repro.core.merge import merge_kmeans
+from repro.core.model import ClusterModel, WeightedCentroidSet, as_points
+from repro.core.partial import partial_kmeans
+
+__all__ = ["update_model", "IncrementalClusterer"]
+
+
+def update_model(
+    model: ClusterModel,
+    new_points: np.ndarray,
+    restarts: int = 3,
+    rng: np.random.Generator | None = None,
+    criterion: ConvergenceCriterion | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> ClusterModel:
+    """Fold ``new_points`` into an existing cell model.
+
+    Args:
+        model: the current cell model (its weights are point counts).
+        new_points: newly arrived measurements for the same cell.
+        restarts: seed restarts for the new chunk's partial k-means.
+        rng: randomness for the partial step (fresh default if ``None``).
+        criterion: convergence criterion for both stages.
+        max_iter: Lloyd cap for both stages.
+
+    Returns:
+        A new :class:`ClusterModel` with ``k`` preserved and weights
+        summing to ``old mass + len(new_points)``.
+    """
+    pts = as_points(new_points)
+    generator = rng if rng is not None else np.random.default_rng()
+    fresh = partial_kmeans(
+        pts,
+        model.k,
+        restarts,
+        generator,
+        source="update",
+        criterion=criterion,
+        max_iter=max_iter,
+    )
+    merged = merge_kmeans(
+        [model.to_weighted_set(), fresh.summary],
+        model.k,
+        criterion=criterion,
+        max_iter=max_iter,
+    )
+    return ClusterModel(
+        centroids=merged.model.centroids,
+        weights=merged.model.weights,
+        mse=merged.mse,
+        method="partial/merge[incremental-update]",
+        partitions=model.partitions + 1,
+        restarts=restarts,
+        partial_seconds=model.partial_seconds + fresh.seconds,
+        merge_seconds=model.merge_seconds + merged.seconds,
+        total_seconds=model.total_seconds + fresh.seconds + merged.seconds,
+        extra={"updates": model.extra.get("updates", 0) + 1},
+    )
+
+
+class IncrementalClusterer:
+    """Bounded-memory online clustering of one growing grid cell.
+
+    State between chunks is at most ``refresh_every`` weighted summaries
+    of ``k`` centroids each; the full point set is never retained.
+
+    Args:
+        k: centroids in the maintained model.
+        restarts: seed restarts per incoming chunk.
+        refresh_every: how many chunk summaries to retain before
+            re-merging them collectively (1 = fold eagerly, the pure
+            incremental discipline; larger values trade memory for the
+            collective merge's statistical fairness).
+        criterion: convergence criterion for all stages.
+        max_iter: Lloyd cap for all stages.
+        seed: RNG seed.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.core.incremental import IncrementalClusterer
+        >>> clusterer = IncrementalClusterer(k=8, seed=0)
+        >>> for _ in range(5):
+        ...     clusterer.add(np.random.default_rng(0).normal(size=(200, 3)))
+        >>> clusterer.model().k
+        8
+    """
+
+    def __init__(
+        self,
+        k: int,
+        restarts: int = 3,
+        refresh_every: int = 4,
+        criterion: ConvergenceCriterion | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+        seed: int | None = None,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if refresh_every < 1:
+            raise ValueError(f"refresh_every must be >= 1, got {refresh_every}")
+        self.k = k
+        self.restarts = restarts
+        self.refresh_every = refresh_every
+        self.criterion = criterion
+        self.max_iter = max_iter
+        self._rng = np.random.default_rng(seed)
+        self._retained: list[WeightedCentroidSet] = []
+        self._chunks_seen = 0
+        self._points_seen = 0
+
+    @property
+    def points_seen(self) -> int:
+        """Total points folded in so far."""
+        return self._points_seen
+
+    @property
+    def chunks_seen(self) -> int:
+        """Chunks folded in so far."""
+        return self._chunks_seen
+
+    def add(self, chunk: np.ndarray) -> None:
+        """Fold one chunk of new points into the running state."""
+        pts = as_points(chunk)
+        summary = partial_kmeans(
+            pts,
+            self.k,
+            self.restarts,
+            self._rng,
+            source=f"chunk{self._chunks_seen}",
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+        ).summary
+        self._retained.append(summary)
+        self._chunks_seen += 1
+        self._points_seen += pts.shape[0]
+        if len(self._retained) >= self.refresh_every:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Collectively merge retained summaries down to one."""
+        merged = merge_kmeans(
+            self._retained,
+            self.k,
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+        )
+        self._retained = [merged.model]
+
+    def model(self) -> ClusterModel:
+        """The current cell model (compacts retained state first).
+
+        Raises:
+            ValueError: if no chunk has been added yet.
+        """
+        if not self._retained:
+            raise ValueError("no data has been added yet")
+        if len(self._retained) > 1:
+            self._compact()
+        summary = self._retained[0]
+        return ClusterModel(
+            centroids=summary.centroids,
+            weights=summary.weights,
+            mse=float("nan"),
+            method="incremental-clusterer",
+            partitions=self._chunks_seen,
+            restarts=self.restarts,
+            extra={"points_seen": self._points_seen},
+        )

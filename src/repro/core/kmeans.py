@@ -1,0 +1,156 @@
+"""Weighted Lloyd k-means — the computational kernel shared by every stage.
+
+The serial baseline, the partial operator, and the merge operator all run
+the same iteration; they differ only in their inputs (raw points vs weighted
+centroids) and seeding.  Implementing one weighted kernel keeps the paper's
+"the code for the serial and the partial k-means implementation are
+identical" property.
+
+Algorithm (paper Section 2):
+
+1. take ``k`` initial seeds,
+2. assign every point to its nearest centroid (squared Euclidean),
+3. recompute each centroid as the weighted mean of its cluster,
+4. repeat until ``MSE(n-1) - MSE(n) <= tol``.
+
+Empty clusters — which the paper does not discuss but any fixed-k
+implementation must handle — are repaired by re-seeding the empty centroid
+to the in-data point currently farthest from its assigned centroid, a
+standard Lloyd repair that strictly reduces SSE potential.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion, MseDeltaCriterion
+from repro.core.model import KMeansResult, as_points, as_weights
+from repro.core.quality import pairwise_sq_distances
+
+__all__ = ["lloyd", "DEFAULT_MAX_ITER"]
+
+#: Safety cap on Lloyd iterations; the paper relies on the MSE-delta
+#: criterion alone, which in floating point can stall on plateaus.
+DEFAULT_MAX_ITER = 300
+
+
+def _repair_empty_clusters(
+    centroids: np.ndarray,
+    points: np.ndarray,
+    weights: np.ndarray,
+    assignments: np.ndarray,
+    sq_dists: np.ndarray,
+    empty: np.ndarray,
+) -> None:
+    """Re-seed empty centroids to the worst-represented points (in place).
+
+    Each empty centroid takes the positively-weighted point with the largest
+    current squared distance; that point's distance is then zeroed so that
+    several empty clusters pick distinct points.
+    """
+    penalty = sq_dists * (weights > 0)
+    for centroid_index in empty:
+        donor = int(np.argmax(penalty))
+        if penalty[donor] <= 0.0:
+            # Degenerate data (all points coincide with centroids); leave the
+            # empty centroid where it is.
+            continue
+        centroids[centroid_index] = points[donor]
+        assignments[donor] = centroid_index
+        penalty[donor] = 0.0
+
+
+def lloyd(
+    points: np.ndarray,
+    seeds: np.ndarray,
+    weights: np.ndarray | None = None,
+    criterion: ConvergenceCriterion | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> KMeansResult:
+    """Run weighted Lloyd k-means from the given seeds.
+
+    Args:
+        points: ``(n, d)`` data (raw points, or centroids in the merge step).
+        seeds: ``(k, d)`` initial centroids; ``k <= n`` is required.
+        weights: optional ``(n,)`` non-negative point weights (the merge
+            step passes the partial steps' point counts; ``None`` means
+            unit weights and reproduces the classic unweighted algorithm).
+        criterion: convergence test; defaults to the paper's
+            ``MSE(n-1) - MSE(n) <= 1e-9``.
+        max_iter: hard iteration cap.
+
+    Returns:
+        A :class:`~repro.core.model.KMeansResult`.  ``result.mse`` is the
+        weighted mean square error at the final assignment.
+    """
+    pts = as_points(points)
+    cents = as_points(seeds).copy()
+    n, dim = pts.shape
+    k = cents.shape[0]
+    if cents.shape[1] != dim:
+        raise ValueError(
+            f"seed dimensionality {cents.shape[1]} does not match data {dim}"
+        )
+    if k > n:
+        raise ValueError(f"cannot fit k={k} clusters to n={n} points")
+    wts = as_weights(weights, n)
+    total_mass = float(wts.sum())
+    test = criterion if criterion is not None else MseDeltaCriterion()
+    if max_iter < 1:
+        raise ValueError(f"max_iter must be >= 1, got {max_iter}")
+
+    prev_mse = np.inf
+    assignments = np.zeros(n, dtype=np.intp)
+    sq_dists = np.zeros(n, dtype=np.float64)
+    iterations = 0
+    converged = False
+
+    for iterations in range(1, max_iter + 1):
+        d2 = pairwise_sq_distances(pts, cents)
+        assignments = np.argmin(d2, axis=1)
+        sq_dists = d2[np.arange(n), assignments]
+
+        cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
+        empty = np.flatnonzero(cluster_mass == 0)
+        if empty.size:
+            _repair_empty_clusters(cents, pts, wts, assignments, sq_dists, empty)
+            d2 = pairwise_sq_distances(pts, cents)
+            assignments = np.argmin(d2, axis=1)
+            sq_dists = d2[np.arange(n), assignments]
+            cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
+
+        # Weighted centroid recalculation: mu_j = sum(w_i x_i) / sum(w_i).
+        weighted_pts = pts * wts[:, None]
+        sums = np.zeros((k, dim), dtype=np.float64)
+        np.add.at(sums, assignments, weighted_pts)
+        occupied = cluster_mass > 0
+        new_cents = cents.copy()
+        new_cents[occupied] = sums[occupied] / cluster_mass[occupied, None]
+
+        shift = float(np.sqrt(((new_cents - cents) ** 2).sum(axis=1)).max())
+        cents = new_cents
+
+        cur_mse = float(np.dot(wts, sq_dists)) / total_mass
+        if test.converged(prev_mse, cur_mse, shift):
+            converged = True
+            prev_mse = cur_mse
+            break
+        prev_mse = cur_mse
+
+    # Final assignment against the last recalculated centroids so that the
+    # reported MSE matches the returned model exactly.
+    d2 = pairwise_sq_distances(pts, cents)
+    assignments = np.argmin(d2, axis=1)
+    sq_dists = d2[np.arange(n), assignments]
+    cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
+    final_sse = float(np.dot(wts, sq_dists))
+
+    return KMeansResult(
+        centroids=cents,
+        assignments=assignments,
+        cluster_weights=cluster_mass,
+        sse=final_sse,
+        mse=final_sse / total_mass,
+        iterations=iterations,
+        converged=converged,
+    )

@@ -1,0 +1,117 @@
+"""Choosing k: distortion-curve utilities.
+
+The paper "assume[s] that we are able to make an appropriate choice of
+k" — this module provides the standard ways to actually make it:
+
+* :func:`distortion_curve` — min-MSE across restarts for each candidate
+  k (cheaply, on a sample),
+* :func:`suggest_k_elbow` — the knee of that curve by maximum distance
+  to the end-to-end chord (the classic geometric elbow),
+* :func:`suggest_k_rate` — the smallest k whose marginal improvement
+  falls below a relative threshold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import as_points
+from repro.core.restarts import best_of_restarts
+
+__all__ = ["distortion_curve", "suggest_k_elbow", "suggest_k_rate"]
+
+
+def distortion_curve(
+    points: np.ndarray,
+    ks: tuple[int, ...],
+    restarts: int = 3,
+    rng: np.random.Generator | None = None,
+    sample_size: int | None = 4_000,
+    max_iter: int = 100,
+) -> list[tuple[int, float]]:
+    """Min-MSE for each candidate k, optionally on a subsample.
+
+    Args:
+        points: the cell's data.
+        ks: candidate cluster counts (must be strictly increasing).
+        restarts: restarts per candidate.
+        rng: randomness (fresh default if ``None``).
+        sample_size: evaluate on at most this many points (``None`` uses
+            everything; the curve's shape is what matters, not its
+            absolute level).
+        max_iter: Lloyd cap.
+
+    Returns:
+        ``[(k, mse), ...]`` in the given k order.
+    """
+    pts = as_points(points)
+    if not ks:
+        raise ValueError("ks must be non-empty")
+    if list(ks) != sorted(set(ks)):
+        raise ValueError("ks must be strictly increasing")
+    if ks[-1] > pts.shape[0]:
+        raise ValueError("largest k exceeds the number of points")
+    generator = rng if rng is not None else np.random.default_rng()
+    if sample_size is not None and pts.shape[0] > sample_size:
+        idx = generator.choice(pts.shape[0], size=sample_size, replace=False)
+        pts = pts[idx]
+
+    curve = []
+    for k in ks:
+        report = best_of_restarts(
+            pts, k, restarts, generator, max_iter=max_iter
+        )
+        curve.append((k, report.best.mse))
+    return curve
+
+
+def suggest_k_elbow(curve: list[tuple[int, float]]) -> int:
+    """The knee of a distortion curve by maximum chord distance.
+
+    Normalises both axes, draws the chord from the first to the last
+    point, and returns the k farthest below it.
+    """
+    if len(curve) < 3:
+        raise ValueError("elbow detection needs at least 3 curve points")
+    ks = np.array([k for k, __ in curve], dtype=float)
+    mses = np.array([m for __, m in curve], dtype=float)
+    x = (ks - ks[0]) / max(ks[-1] - ks[0], 1e-12)
+    y_span = max(mses[0] - mses[-1], 1e-12)
+    y = (mses - mses[-1]) / y_span
+    # Distance from each point to the chord (0,1)-(1,0): |x + y - 1| / √2.
+    distances = np.abs(x + y - 1.0)
+    return int(ks[int(np.argmax(distances))])
+
+
+def suggest_k_rate(
+    curve: list[tuple[int, float]], min_improvement: float = 0.1
+) -> int:
+    """Smallest k whose next step improves MSE by less than the threshold.
+
+    Improvement is measured relative to the *initial* distortion (the
+    k = ks[0] level): once a step recovers less than ``min_improvement``
+    of the total reducible error, more clusters are just subdividing
+    noise.  (Normalising by the current MSE instead would keep accepting
+    steps forever, since within-cluster noise halves with every
+    doubling of k.)
+
+    Args:
+        curve: ``[(k, mse), ...]`` with increasing k.
+        min_improvement: fraction of the initial MSE below which the
+            next step is not considered worth paying for.
+
+    Returns:
+        The selected k (the last k if every step keeps improving).
+    """
+    if len(curve) < 2:
+        raise ValueError("rate detection needs at least 2 curve points")
+    if not 0.0 < min_improvement < 1.0:
+        raise ValueError("min_improvement must be in (0, 1)")
+    initial = curve[0][1]
+    if initial <= 0:
+        return curve[0][0]
+    for (k, mse_now), (__, mse_next) in zip(curve, curve[1:]):
+        improvement = (mse_now - mse_next) / initial
+        if improvement < min_improvement:
+            return k
+    return curve[-1][0]

@@ -1,0 +1,110 @@
+"""Data substrate: grid cells, synthetic MISR data, swaths, IO, slicing.
+
+* :mod:`~repro.data.gridcell` — 1°×1° cell model and buckets.
+* :mod:`~repro.data.generator` — seeded Gaussian-mixture cell data.
+* :mod:`~repro.data.swath` — satellite-swath acquisition simulator.
+* :mod:`~repro.data.gridio` — binary grid-bucket file format.
+* :mod:`~repro.data.partitioning` — random / spatial / salami slicing.
+* :mod:`~repro.data.datasets` — the paper's experiment workloads.
+"""
+
+from repro.data.datasets import (
+    PAPER_CELL_SIZES,
+    PAPER_K,
+    PAPER_RESTARTS,
+    PAPER_SPLITS,
+    PAPER_VERSIONS,
+    ExperimentCell,
+    build_paper_cells,
+    scaled_sizes,
+)
+from repro.data.generator import (
+    MISR_DIM,
+    ComponentSpec,
+    MisrCellDistribution,
+    generate_cell_points,
+    generate_versions,
+    random_cell_distribution,
+)
+from repro.data.gridcell import GridBucket, GridCell, GridCellId
+from repro.data.gridio import (
+    GridBucketFormatError,
+    read_bucket_file,
+    read_bucket_header,
+    scan_bucket_dir,
+    stream_bucket_points,
+    write_bucket_dir,
+    write_bucket_file,
+)
+from repro.data.partitioning import (
+    Partitioner,
+    RandomPartitioner,
+    SalamiPartitioner,
+    SpatialPartitioner,
+    make_partitioner,
+)
+from repro.data.swath import SwathSimulator, SwathStripe, bin_stripes_into_buckets
+from repro.data.quality import (
+    QualityLedger,
+    StripeQualityReport,
+    scrub_stripe,
+    scrub_stripes,
+)
+from repro.data.workloads import MonthlyWorkload, build_monthly_workload
+from repro.data.swathio import (
+    SwathFileError,
+    bin_granules_into_buckets,
+    read_swath_stripes,
+    scan_granules,
+    swath_directory,
+    write_granules,
+    write_swath_file,
+)
+
+__all__ = [
+    "PAPER_CELL_SIZES",
+    "PAPER_K",
+    "PAPER_RESTARTS",
+    "PAPER_SPLITS",
+    "PAPER_VERSIONS",
+    "ExperimentCell",
+    "build_paper_cells",
+    "scaled_sizes",
+    "MISR_DIM",
+    "ComponentSpec",
+    "MisrCellDistribution",
+    "generate_cell_points",
+    "generate_versions",
+    "random_cell_distribution",
+    "GridBucket",
+    "GridCell",
+    "GridCellId",
+    "GridBucketFormatError",
+    "read_bucket_file",
+    "read_bucket_header",
+    "scan_bucket_dir",
+    "stream_bucket_points",
+    "write_bucket_dir",
+    "write_bucket_file",
+    "Partitioner",
+    "RandomPartitioner",
+    "SalamiPartitioner",
+    "SpatialPartitioner",
+    "make_partitioner",
+    "SwathSimulator",
+    "SwathStripe",
+    "bin_stripes_into_buckets",
+    "SwathFileError",
+    "bin_granules_into_buckets",
+    "read_swath_stripes",
+    "scan_granules",
+    "swath_directory",
+    "write_granules",
+    "write_swath_file",
+    "MonthlyWorkload",
+    "build_monthly_workload",
+    "QualityLedger",
+    "StripeQualityReport",
+    "scrub_stripe",
+    "scrub_stripes",
+]

@@ -1,0 +1,204 @@
+"""Synthetic MISR-like grid-cell data.
+
+The paper's experiments use data "recreated with the R statistical package
+... with the same distribution" as 1°×1° MISR grid cells: 6 attributes per
+point, between 250 and 75,000 points per cell.  Real MISR radiances are
+multi-modal (clouds, ocean, land, aerosol regimes) with correlated
+channels, so the faithful synthetic equivalent is a Gaussian mixture with
+anisotropic, correlated components — which is what
+:class:`MisrCellDistribution` draws from.
+
+Every generator here is fully seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "MISR_DIM",
+    "ComponentSpec",
+    "MisrCellDistribution",
+    "random_cell_distribution",
+    "generate_cell_points",
+    "generate_versions",
+]
+
+#: The paper's fixed dimensionality: six attributes per measurement.
+MISR_DIM = 6
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One Gaussian mixture component.
+
+    Attributes:
+        mean: ``(d,)`` component mean.
+        cov: ``(d, d)`` positive-definite covariance.
+        weight: mixing proportion (normalised across the distribution).
+    """
+
+    mean: np.ndarray
+    cov: np.ndarray
+    weight: float
+
+    def __post_init__(self) -> None:
+        mean = np.asarray(self.mean, dtype=np.float64)
+        cov = np.asarray(self.cov, dtype=np.float64)
+        if mean.ndim != 1:
+            raise ValueError("component mean must be 1-dimensional")
+        if cov.shape != (mean.size, mean.size):
+            raise ValueError(
+                f"cov shape {cov.shape} does not match mean size {mean.size}"
+            )
+        if self.weight <= 0:
+            raise ValueError(f"component weight must be positive, got {self.weight}")
+        object.__setattr__(self, "mean", mean)
+        object.__setattr__(self, "cov", cov)
+
+
+@dataclass(frozen=True)
+class MisrCellDistribution:
+    """A grid cell's point distribution: a Gaussian mixture.
+
+    Attributes:
+        components: the mixture components.
+    """
+
+    components: tuple[ComponentSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("distribution needs at least one component")
+        dims = {c.mean.size for c in self.components}
+        if len(dims) != 1:
+            raise ValueError(f"components have mixed dimensionality: {sorted(dims)}")
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality of the distribution."""
+        return self.components[0].mean.size
+
+    @property
+    def n_components(self) -> int:
+        """Number of mixture components."""
+        return len(self.components)
+
+    def mixture_weights(self) -> np.ndarray:
+        """Normalised mixing proportions, shape ``(n_components,)``."""
+        raw = np.array([c.weight for c in self.components], dtype=np.float64)
+        return raw / raw.sum()
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` points from the mixture.
+
+        Component counts are drawn multinomially, then each component's
+        points are sampled from its multivariate normal; the result is
+        shuffled so arrival order carries no cluster signal.
+        """
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        counts = rng.multinomial(n, self.mixture_weights())
+        blocks = []
+        for component, count in zip(self.components, counts):
+            if count == 0:
+                continue
+            blocks.append(
+                rng.multivariate_normal(
+                    component.mean, component.cov, size=count, method="cholesky"
+                )
+            )
+        points = np.vstack(blocks)
+        return points[rng.permutation(points.shape[0])]
+
+
+def _random_covariance(
+    dim: int, rng: np.random.Generator, scale: float
+) -> np.ndarray:
+    """A random positive-definite covariance with correlated axes."""
+    basis = rng.normal(size=(dim, dim))
+    q, __ = np.linalg.qr(basis)
+    eigenvalues = rng.uniform(0.2, 1.0, size=dim) * scale**2
+    return (q * eigenvalues) @ q.T
+
+
+def random_cell_distribution(
+    rng: np.random.Generator,
+    dim: int = MISR_DIM,
+    n_components: int | None = None,
+    spread: float = 10.0,
+    scale: float = 1.0,
+) -> MisrCellDistribution:
+    """Draw a random MISR-like cell distribution.
+
+    Args:
+        rng: source of randomness.
+        dim: attribute count (paper: 6).
+        n_components: mixture size; default draws 8-20 components, in the
+            ballpark of the physical regimes a k=40 codebook summarises.
+        spread: standard deviation of component means around the origin.
+        scale: typical within-component standard deviation.
+
+    Returns:
+        A :class:`MisrCellDistribution`.
+    """
+    if n_components is None:
+        n_components = int(rng.integers(8, 21))
+    if n_components < 1:
+        raise ValueError(f"n_components must be >= 1, got {n_components}")
+    components = tuple(
+        ComponentSpec(
+            mean=rng.normal(scale=spread, size=dim),
+            cov=_random_covariance(dim, rng, scale),
+            weight=float(rng.uniform(0.5, 2.0)),
+        )
+        for __ in range(n_components)
+    )
+    return MisrCellDistribution(components=components)
+
+
+def generate_cell_points(
+    n_points: int,
+    seed: int,
+    dim: int = MISR_DIM,
+    n_components: int | None = None,
+) -> np.ndarray:
+    """Convenience: a fresh random distribution sampled once.
+
+    Args:
+        n_points: points in the cell.
+        seed: full determinism — same seed, same cell.
+        dim: attribute count.
+        n_components: mixture size (default: random 8-20).
+
+    Returns:
+        ``(n_points, dim)`` float64 array.
+    """
+    rng = np.random.default_rng(seed)
+    distribution = random_cell_distribution(rng, dim=dim, n_components=n_components)
+    return distribution.sample(n_points, rng)
+
+
+def generate_versions(
+    n_points: int,
+    n_versions: int,
+    base_seed: int,
+    dim: int = MISR_DIM,
+    n_components: int | None = None,
+) -> list[np.ndarray]:
+    """The paper's "5 different versions for each configuration".
+
+    Each version shares the *configuration* (n_points, dim) but draws a
+    fresh distribution and sample, exactly as regenerating with new R
+    seeds would.
+    """
+    if n_versions < 1:
+        raise ValueError(f"n_versions must be >= 1, got {n_versions}")
+    return [
+        generate_cell_points(
+            n_points, seed=base_seed + version, dim=dim, n_components=n_components
+        )
+        for version in range(n_versions)
+    ]

@@ -1,0 +1,131 @@
+"""Grid-cell data model.
+
+The paper partitions the globe into 1°×1° latitude/longitude grid cells and
+clusters each cell independently.  :class:`GridCellId` names a cell by its
+south-west corner; :class:`GridCell` couples an id with its measurement
+points; :class:`GridBucket` is the on-disk unit (one cell's points,
+accumulated across swaths, stored in random arrival order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.model import as_points
+
+__all__ = ["GridCellId", "GridCell", "GridBucket"]
+
+
+@dataclass(frozen=True, order=True)
+class GridCellId:
+    """Identifier of a 1°×1° grid cell by its south-west corner.
+
+    Attributes:
+        lat: latitude of the south edge, in degrees, ``-90 <= lat < 90``.
+        lon: longitude of the west edge, in degrees, ``-180 <= lon < 180``.
+    """
+
+    lat: int
+    lon: int
+
+    def __post_init__(self) -> None:
+        if not -90 <= self.lat < 90:
+            raise ValueError(f"lat must be in [-90, 90), got {self.lat}")
+        if not -180 <= self.lon < 180:
+            raise ValueError(f"lon must be in [-180, 180), got {self.lon}")
+
+    @staticmethod
+    def containing(lat: float, lon: float) -> "GridCellId":
+        """The cell containing a (lat, lon) position.
+
+        Longitude wraps modulo 360; latitude 90.0 is clamped into the
+        northernmost row.
+        """
+        wrapped_lon = ((lon + 180.0) % 360.0) - 180.0
+        cell_lat = min(int(np.floor(lat)), 89)
+        return GridCellId(lat=cell_lat, lon=int(np.floor(wrapped_lon)))
+
+    def contains(self, lat: float, lon: float) -> bool:
+        """Whether a (lat, lon) position falls inside this cell."""
+        return self == GridCellId.containing(lat, lon)
+
+    @property
+    def key(self) -> str:
+        """Stable string key, e.g. ``"N34E118"`` style ``"lat34lon-118"``."""
+        return f"lat{self.lat}lon{self.lon}"
+
+    @staticmethod
+    def from_key(key: str) -> "GridCellId":
+        """Parse a :attr:`key` string back into an id."""
+        if not key.startswith("lat") or "lon" not in key:
+            raise ValueError(f"malformed grid cell key: {key!r}")
+        lat_text, __, lon_text = key[3:].partition("lon")
+        return GridCellId(lat=int(lat_text), lon=int(lon_text))
+
+
+@dataclass(frozen=True)
+class GridCell:
+    """One grid cell's measurement points.
+
+    Attributes:
+        cell_id: the cell's identity.
+        points: ``(n, d)`` float64 array of measurement vectors.
+    """
+
+    cell_id: GridCellId
+    points: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "points", as_points(self.points))
+
+    @property
+    def n_points(self) -> int:
+        """Number of measurements in the cell."""
+        return self.points.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Measurement dimensionality."""
+        return self.points.shape[1]
+
+
+@dataclass
+class GridBucket:
+    """Accumulates one cell's points as swath stripes deliver them.
+
+    The scan stage appends stripe fragments in arrival order; the paper's
+    assumption that "all data points that belong to a grid cell arrive
+    sequentially, and in random order" is realised by :meth:`freeze`, which
+    shuffles the accumulated points once before clustering.
+    """
+
+    cell_id: GridCellId
+    _fragments: list[np.ndarray] = field(default_factory=list)
+
+    def append(self, points: np.ndarray) -> None:
+        """Add a stripe fragment of measurements for this cell."""
+        self._fragments.append(as_points(points))
+
+    @property
+    def n_points(self) -> int:
+        """Points accumulated so far."""
+        return sum(f.shape[0] for f in self._fragments)
+
+    def freeze(self, rng: np.random.Generator | None = None) -> GridCell:
+        """Materialise the bucket as a :class:`GridCell`.
+
+        Args:
+            rng: when given, the points are shuffled (random arrival
+                order); otherwise they stay in append order.
+
+        Raises:
+            ValueError: if the bucket is empty.
+        """
+        if not self._fragments:
+            raise ValueError(f"grid bucket {self.cell_id.key} is empty")
+        stacked = np.vstack(self._fragments)
+        if rng is not None:
+            stacked = stacked[rng.permutation(stacked.shape[0])]
+        return GridCell(cell_id=self.cell_id, points=stacked)

@@ -1,0 +1,117 @@
+"""Partitioning ("slicing") strategies for grid cells.
+
+The paper's experiments randomly distribute a cell's points over p chunks;
+its future work (Section 6) proposes comparing that against spatially
+*non-overlapping* sub-cells and a "'salami'-type slicing strategy".  All
+three are implemented here so the slicing ablation benchmark can measure
+their effect on merge quality:
+
+* :class:`RandomPartitioner` — the paper's experiment setup: each chunk is
+  a uniform random sample, so chunk areas overlap >90%.
+* :class:`SpatialPartitioner` — non-overlapping sub-cells: points sorted
+  along one attribute (or a spatial coordinate) and cut into contiguous
+  ranges; each chunk sees only part of the space, losing cross-chunk
+  locality.
+* :class:`SalamiPartitioner` — thin interleaved slices: point ``i`` goes
+  to chunk ``i mod p``; a deterministic, maximally overlapping split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.model import as_points
+
+__all__ = [
+    "Partitioner",
+    "RandomPartitioner",
+    "SpatialPartitioner",
+    "SalamiPartitioner",
+    "make_partitioner",
+]
+
+
+def _check_split(n_points: int, n_chunks: int) -> None:
+    if n_chunks < 1:
+        raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+    if n_chunks > n_points:
+        raise ValueError(f"cannot split {n_points} points into {n_chunks} chunks")
+
+
+class Partitioner:
+    """Interface: split a cell's points into chunks for partial k-means."""
+
+    name = "abstract"
+
+    def split(self, points: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+        """Return ``n_chunks`` arrays that partition ``points``."""
+        raise NotImplementedError
+
+
+class RandomPartitioner(Partitioner):
+    """The paper's split: random equal-sized chunks (areas overlap >90%).
+
+    Args:
+        seed: determinism for the random assignment.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int | None = None) -> None:
+        self._rng = np.random.default_rng(seed)
+
+    def split(self, points: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+        pts = as_points(points)
+        _check_split(pts.shape[0], n_chunks)
+        perm = self._rng.permutation(pts.shape[0])
+        return [pts[idx] for idx in np.array_split(perm, n_chunks)]
+
+
+class SpatialPartitioner(Partitioner):
+    """Non-overlapping sub-cells: contiguous ranges along one axis.
+
+    Args:
+        axis: attribute index to sort along (a proxy for a spatial
+            coordinate within the cell).
+    """
+
+    name = "spatial"
+
+    def __init__(self, axis: int = 0) -> None:
+        if axis < 0:
+            raise ValueError(f"axis must be >= 0, got {axis}")
+        self.axis = axis
+
+    def split(self, points: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+        pts = as_points(points)
+        _check_split(pts.shape[0], n_chunks)
+        if self.axis >= pts.shape[1]:
+            raise ValueError(
+                f"axis {self.axis} out of range for dimensionality {pts.shape[1]}"
+            )
+        order = np.argsort(pts[:, self.axis], kind="stable")
+        return [pts[idx] for idx in np.array_split(order, n_chunks)]
+
+
+class SalamiPartitioner(Partitioner):
+    """Thin interleaved slices: point ``i`` goes to chunk ``i mod p``."""
+
+    name = "salami"
+
+    def split(self, points: np.ndarray, n_chunks: int) -> list[np.ndarray]:
+        pts = as_points(points)
+        _check_split(pts.shape[0], n_chunks)
+        return [pts[start::n_chunks] for start in range(n_chunks)]
+
+
+def make_partitioner(name: str, seed: int | None = None) -> Partitioner:
+    """Build a partitioner by name (``random``, ``spatial``, ``salami``)."""
+    if name == "random":
+        return RandomPartitioner(seed=seed)
+    if name == "spatial":
+        return SpatialPartitioner()
+    if name == "salami":
+        return SalamiPartitioner()
+    raise ValueError(
+        f"unknown partitioner {name!r}; expected 'random', 'spatial' or 'salami'"
+    )

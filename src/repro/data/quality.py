@@ -1,0 +1,134 @@
+"""Data-quality screening for incoming swath stripes.
+
+Real instrument streams carry junk: saturated detectors produce
+non-finite radiances, geolocation glitches put footprints off the
+planet, and stuck pixels repeat one value thousands of times.  A
+production ingest pipeline screens stripes before binning; this module
+is that screen.
+
+:func:`scrub_stripe` drops unusable samples and reports what it did;
+:func:`scrub_stripes` wraps a whole stream, accumulating a
+:class:`QualityLedger` for monitoring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.swath import SwathStripe
+
+__all__ = ["StripeQualityReport", "QualityLedger", "scrub_stripe", "scrub_stripes"]
+
+
+@dataclass(frozen=True)
+class StripeQualityReport:
+    """What the screen removed from one stripe.
+
+    Attributes:
+        orbit: stripe identity.
+        samples_in: samples before screening.
+        samples_out: samples kept.
+        dropped_nonfinite: rows with NaN/inf measurements.
+        dropped_geolocation: rows with coordinates off the valid ranges.
+    """
+
+    orbit: int
+    samples_in: int
+    samples_out: int
+    dropped_nonfinite: int
+    dropped_geolocation: int
+
+    @property
+    def kept_fraction(self) -> float:
+        if self.samples_in == 0:
+            return 1.0
+        return self.samples_out / self.samples_in
+
+
+@dataclass
+class QualityLedger:
+    """Accumulated screening statistics across a stream."""
+
+    reports: list[StripeQualityReport] = field(default_factory=list)
+
+    @property
+    def samples_in(self) -> int:
+        return sum(r.samples_in for r in self.reports)
+
+    @property
+    def samples_out(self) -> int:
+        return sum(r.samples_out for r in self.reports)
+
+    @property
+    def dropped(self) -> int:
+        return self.samples_in - self.samples_out
+
+    def summary(self) -> str:
+        """One-line ledger for logs."""
+        return (
+            f"{len(self.reports)} stripes screened: "
+            f"{self.samples_out}/{self.samples_in} samples kept "
+            f"({self.dropped} dropped)"
+        )
+
+
+def scrub_stripe(stripe: SwathStripe) -> tuple[SwathStripe | None, StripeQualityReport]:
+    """Screen one stripe.
+
+    Drops rows whose measurements are non-finite or whose coordinates
+    fall outside ``[-90, 90) x [-180, 180)``.
+
+    Returns:
+        ``(clean_stripe, report)``; ``clean_stripe`` is ``None`` when
+        nothing survives.
+    """
+    n = stripe.measurements.shape[0]
+    finite = np.isfinite(stripe.measurements).all(axis=1)
+    coords_ok = (
+        (stripe.lats >= -90.0)
+        & (stripe.lats < 90.0)
+        & (stripe.lons >= -180.0)
+        & (stripe.lons < 180.0)
+        & np.isfinite(stripe.lats)
+        & np.isfinite(stripe.lons)
+    )
+    keep = finite & coords_ok
+    report = StripeQualityReport(
+        orbit=stripe.orbit,
+        samples_in=n,
+        samples_out=int(keep.sum()),
+        dropped_nonfinite=int((~finite).sum()),
+        dropped_geolocation=int((finite & ~coords_ok).sum()),
+    )
+    if not keep.any():
+        return None, report
+    if keep.all():
+        return stripe, report
+    clean = SwathStripe(
+        orbit=stripe.orbit,
+        lats=stripe.lats[keep],
+        lons=stripe.lons[keep],
+        measurements=stripe.measurements[keep],
+    )
+    return clean, report
+
+
+def scrub_stripes(
+    stripes: Iterator[SwathStripe] | list[SwathStripe],
+    ledger: QualityLedger | None = None,
+) -> Iterator[SwathStripe]:
+    """Screen a stripe stream, yielding only clean stripes.
+
+    Args:
+        stripes: incoming stripes.
+        ledger: when given, screening reports are appended to it.
+    """
+    for stripe in stripes:
+        clean, report = scrub_stripe(stripe)
+        if ledger is not None:
+            ledger.reports.append(report)
+        if clean is not None:
+            yield clean

@@ -1,0 +1,182 @@
+"""Satellite-swath simulator.
+
+MISR collects data in "stripes" as the instrument flies pole-to-pole while
+the Earth rotates underneath (paper Figure 1); a grid cell's points end up
+scattered across many swath files.  This module simulates that acquisition
+geometry so the scan stage has realistic input:
+
+* :class:`SwathSimulator` flies a polar orbiter; each orbit yields a
+  :class:`SwathStripe` of footprints (lat, lon, measurement vector).
+* :func:`bin_stripes_into_buckets` replays the paper's one-pass
+  preprocessing: scan all stripes once, sorting footprints into per-cell
+  :class:`~repro.data.gridcell.GridBucket` accumulators.
+
+Measurements are drawn from a per-cell Gaussian mixture (the same model as
+:mod:`repro.data.generator`), cached per cell so that every footprint
+landing in a cell shares the cell's distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.generator import (
+    MISR_DIM,
+    MisrCellDistribution,
+    random_cell_distribution,
+)
+from repro.data.gridcell import GridBucket, GridCellId
+
+__all__ = ["SwathStripe", "SwathSimulator", "bin_stripes_into_buckets"]
+
+_EARTH_ROTATION_DEG_PER_MIN = 360.0 / (24.0 * 60.0)
+
+
+@dataclass(frozen=True)
+class SwathStripe:
+    """One orbit's worth of footprints.
+
+    Attributes:
+        orbit: orbit number.
+        lats: ``(m,)`` footprint latitudes in degrees.
+        lons: ``(m,)`` footprint longitudes in degrees.
+        measurements: ``(m, d)`` measurement vectors.
+    """
+
+    orbit: int
+    lats: np.ndarray
+    lons: np.ndarray
+    measurements: np.ndarray
+
+    @property
+    def n_footprints(self) -> int:
+        """Number of footprints in the stripe."""
+        return self.lats.shape[0]
+
+
+@dataclass
+class SwathSimulator:
+    """Simulates a polar orbiter's ground coverage.
+
+    The satellite descends from +90° to -90° latitude each half-orbit; the
+    ascending node drifts westward with Earth rotation, so successive
+    orbits cover adjacent stripes and, over enough orbits, the full globe —
+    matching MISR's 2-to-14-day global coverage cadence.
+
+    Args:
+        swath_width_deg: cross-track swath width in degrees of longitude.
+        footprints_per_orbit: samples taken along one orbit.
+        samples_per_footprint: measurement vectors recorded per footprint
+            (a MISR footprint is a multi-pixel region, so one geolocated
+            footprint contributes many measurements to its cell).
+        orbit_minutes: orbital period (drives the stripe-to-stripe drift).
+        dim: measurement dimensionality.
+        seed: determinism.
+    """
+
+    swath_width_deg: float = 6.0
+    footprints_per_orbit: int = 2000
+    samples_per_footprint: int = 1
+    orbit_minutes: float = 98.0
+    dim: int = MISR_DIM
+    seed: int = 0
+    _distributions: dict[GridCellId, MisrCellDistribution] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.swath_width_deg <= 0:
+            raise ValueError("swath_width_deg must be positive")
+        if self.footprints_per_orbit < 1:
+            raise ValueError("footprints_per_orbit must be >= 1")
+        if self.samples_per_footprint < 1:
+            raise ValueError("samples_per_footprint must be >= 1")
+        self._rng = np.random.default_rng(self.seed)
+
+    def _cell_distribution(self, cell: GridCellId) -> MisrCellDistribution:
+        """Per-cell mixture, created lazily and cached for consistency."""
+        if cell not in self._distributions:
+            cell_rng = np.random.default_rng(
+                (self.seed, cell.lat + 90, cell.lon + 180)
+            )
+            self._distributions[cell] = random_cell_distribution(
+                cell_rng, dim=self.dim
+            )
+        return self._distributions[cell]
+
+    def fly(self, n_orbits: int) -> Iterator[SwathStripe]:
+        """Yield one :class:`SwathStripe` per orbit.
+
+        Args:
+            n_orbits: orbits to simulate.
+        """
+        if n_orbits < 1:
+            raise ValueError(f"n_orbits must be >= 1, got {n_orbits}")
+        drift_per_orbit = self.orbit_minutes * _EARTH_ROTATION_DEG_PER_MIN
+        for orbit in range(n_orbits):
+            fraction = np.linspace(0.0, 1.0, self.footprints_per_orbit)
+            # Descending pass: +90 -> -90 latitude over the half orbit.
+            lats = 90.0 - 180.0 * fraction
+            node_lon = -orbit * drift_per_orbit
+            cross_track = self._rng.uniform(
+                -self.swath_width_deg / 2.0,
+                self.swath_width_deg / 2.0,
+                size=self.footprints_per_orbit,
+            )
+            along_track_drift = fraction * drift_per_orbit / 2.0
+            lons = ((node_lon + cross_track - along_track_drift + 180.0) % 360.0) - 180.0
+            # Clamp the poles into valid cell rows.
+            lats = np.clip(lats, -90.0, 89.999)
+
+            samples = self.samples_per_footprint
+            measurements = np.empty(
+                (self.footprints_per_orbit * samples, self.dim)
+            )
+            for index in range(self.footprints_per_orbit):
+                cell = GridCellId.containing(lats[index], lons[index])
+                distribution = self._cell_distribution(cell)
+                measurements[index * samples : (index + 1) * samples] = (
+                    distribution.sample(samples, self._rng)
+                )
+            yield SwathStripe(
+                orbit=orbit,
+                lats=np.repeat(lats, samples),
+                lons=np.repeat(lons, samples),
+                measurements=measurements,
+            )
+
+
+def bin_stripes_into_buckets(
+    stripes: Iterator[SwathStripe] | list[SwathStripe],
+) -> dict[GridCellId, GridBucket]:
+    """One-pass binning of swath stripes into per-cell grid buckets.
+
+    Replays the paper's preprocessing assumption: "the data had been
+    scanned once, and sorted into one degree latitude and one degree
+    longitude grid buckets".
+
+    Returns:
+        Mapping from cell id to its (unfrozen) :class:`GridBucket`.
+    """
+    buckets: dict[GridCellId, GridBucket] = {}
+    for stripe in stripes:
+        cells = [
+            GridCellId.containing(lat, lon)
+            for lat, lon in zip(stripe.lats, stripe.lons)
+        ]
+        order = np.argsort([c.key for c in cells], kind="stable")
+        sorted_cells = [cells[i] for i in order]
+        sorted_measurements = stripe.measurements[order]
+        start = 0
+        while start < len(sorted_cells):
+            end = start
+            while end < len(sorted_cells) and sorted_cells[end] == sorted_cells[start]:
+                end += 1
+            cell = sorted_cells[start]
+            bucket = buckets.setdefault(cell, GridBucket(cell_id=cell))
+            bucket.append(sorted_measurements[start:end])
+            start = end
+    return buckets

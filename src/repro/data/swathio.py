@@ -1,0 +1,192 @@
+"""Semi-structured swath files — the HDF stand-in.
+
+The paper's raw input is "complex, semi-structured files" holding swath
+stripes; a grid cell's points are "scattered over several large files",
+and scan operators read them once to sort points into grid buckets.  This
+module defines that container:
+
+Layout (little-endian)::
+
+    magic        4 bytes  b"SWF1"
+    n_stripes    uint32
+    dim          uint32
+    -- stripe directory: n_stripes records --
+    orbit        uint32
+    n_samples    uint64
+    offset       uint64   (payload byte offset of this stripe)
+    -- payload: per stripe --
+    lats         n float64
+    lons         n float64
+    measurements n*dim float64 (row-major)
+
+The directory-at-front layout permits both a full sequential scan and a
+per-stripe seek, like the HDF files it stands in for.  A "granule" is one
+file; a collection is a directory of granules, typically one per orbit
+group, so cells genuinely span multiple files.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.data.gridcell import GridBucket, GridCellId
+from repro.data.swath import SwathStripe, bin_stripes_into_buckets
+
+__all__ = [
+    "SwathFileError",
+    "write_swath_file",
+    "read_swath_stripes",
+    "swath_directory",
+    "write_granules",
+    "scan_granules",
+    "bin_granules_into_buckets",
+]
+
+_MAGIC = b"SWF1"
+_HEADER = struct.Struct("<4sII")
+_DIRENT = struct.Struct("<IQQ")
+
+
+class SwathFileError(Exception):
+    """A swath file is malformed or truncated."""
+
+
+def write_swath_file(path: str | Path, stripes: Sequence[SwathStripe]) -> Path:
+    """Write stripes to one swath granule.
+
+    All stripes must share a dimensionality; the directory is written
+    first so readers can seek per stripe.
+    """
+    target = Path(path)
+    if not stripes:
+        raise ValueError("cannot write an empty swath file")
+    dims = {s.measurements.shape[1] for s in stripes}
+    if len(dims) != 1:
+        raise ValueError(f"stripes have mixed dimensionality: {sorted(dims)}")
+    dim = dims.pop()
+
+    payloads: list[bytes] = []
+    directory: list[tuple[int, int, int]] = []
+    offset = 0
+    for stripe in stripes:
+        n = stripe.measurements.shape[0]
+        if stripe.lats.shape != (n,) or stripe.lons.shape != (n,):
+            raise ValueError("stripe coordinate arrays must match measurements")
+        block = (
+            np.ascontiguousarray(stripe.lats, dtype="<f8").tobytes()
+            + np.ascontiguousarray(stripe.lons, dtype="<f8").tobytes()
+            + np.ascontiguousarray(stripe.measurements, dtype="<f8").tobytes()
+        )
+        directory.append((stripe.orbit, n, offset))
+        payloads.append(block)
+        offset += len(block)
+
+    with open(target, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, len(stripes), dim))
+        for orbit, n, stripe_offset in directory:
+            handle.write(_DIRENT.pack(orbit, n, stripe_offset))
+        for block in payloads:
+            handle.write(block)
+    return target
+
+
+def swath_directory(path: str | Path) -> list[tuple[int, int]]:
+    """Read only the stripe directory: ``[(orbit, n_samples), ...]``."""
+    with open(path, "rb") as handle:
+        raw = handle.read(_HEADER.size)
+        if len(raw) != _HEADER.size:
+            raise SwathFileError(f"{path}: truncated header")
+        magic, n_stripes, __ = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise SwathFileError(f"{path}: bad magic {magic!r}")
+        entries = []
+        for __ in range(n_stripes):
+            entry = handle.read(_DIRENT.size)
+            if len(entry) != _DIRENT.size:
+                raise SwathFileError(f"{path}: truncated directory")
+            orbit, n_samples, __offset = _DIRENT.unpack(entry)
+            entries.append((orbit, n_samples))
+        return entries
+
+
+def read_swath_stripes(path: str | Path) -> Iterator[SwathStripe]:
+    """One-pass sequential read of every stripe in a granule."""
+    with open(path, "rb") as handle:
+        raw = handle.read(_HEADER.size)
+        if len(raw) != _HEADER.size:
+            raise SwathFileError(f"{path}: truncated header")
+        magic, n_stripes, dim = _HEADER.unpack(raw)
+        if magic != _MAGIC:
+            raise SwathFileError(f"{path}: bad magic {magic!r}")
+        directory = []
+        for __ in range(n_stripes):
+            entry = handle.read(_DIRENT.size)
+            if len(entry) != _DIRENT.size:
+                raise SwathFileError(f"{path}: truncated directory")
+            directory.append(_DIRENT.unpack(entry))
+        for orbit, n_samples, __offset in directory:
+            coord_bytes = n_samples * 8
+            block = handle.read(coord_bytes * 2 + n_samples * dim * 8)
+            if len(block) != coord_bytes * 2 + n_samples * dim * 8:
+                raise SwathFileError(f"{path}: truncated stripe payload")
+            lats = np.frombuffer(block[:coord_bytes], dtype="<f8")
+            lons = np.frombuffer(
+                block[coord_bytes : 2 * coord_bytes], dtype="<f8"
+            )
+            measurements = np.frombuffer(
+                block[2 * coord_bytes :], dtype="<f8"
+            ).reshape(n_samples, dim)
+            yield SwathStripe(
+                orbit=orbit,
+                lats=lats.copy(),
+                lons=lons.copy(),
+                measurements=measurements.copy(),
+            )
+
+
+def write_granules(
+    directory: str | Path,
+    stripes: Iterator[SwathStripe] | list[SwathStripe],
+    stripes_per_granule: int = 4,
+) -> list[Path]:
+    """Split a stripe stream into granule files under ``directory``.
+
+    This reproduces the paper's file layout problem: consecutive orbits go
+    to the same granule, so one grid cell's points end up scattered over
+    several files.
+    """
+    if stripes_per_granule < 1:
+        raise ValueError("stripes_per_granule must be >= 1")
+    root = Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    paths: list[Path] = []
+    pending: list[SwathStripe] = []
+    index = 0
+    for stripe in stripes:
+        pending.append(stripe)
+        if len(pending) == stripes_per_granule:
+            paths.append(
+                write_swath_file(root / f"granule{index:04d}.swf", pending)
+            )
+            pending = []
+            index += 1
+    if pending:
+        paths.append(write_swath_file(root / f"granule{index:04d}.swf", pending))
+    return paths
+
+
+def scan_granules(directory: str | Path) -> Iterator[SwathStripe]:
+    """Sequentially scan every granule in a directory, once."""
+    for path in sorted(Path(directory).glob("*.swf")):
+        yield from read_swath_stripes(path)
+
+
+def bin_granules_into_buckets(
+    directory: str | Path,
+) -> dict[GridCellId, GridBucket]:
+    """The paper's preprocessing: one pass over all granules -> buckets."""
+    return bin_stripes_into_buckets(scan_granules(directory))

@@ -1,0 +1,82 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+* :mod:`~repro.experiments.configs` — paper / quick / smoke grids.
+* :mod:`~repro.experiments.harness` — case runner and result aggregation.
+* :mod:`~repro.experiments.tables` — Table 2.
+* :mod:`~repro.experiments.figures` — Figures 6, 7 and 8.
+* :mod:`~repro.experiments.speedup` — the parallel speed-up test.
+"""
+
+from repro.experiments.convergence_study import (
+    ConvergencePoint,
+    partial_merge_distance_ops,
+    render_convergence_study,
+    run_convergence_study,
+    serial_distance_ops,
+)
+from repro.experiments.configs import (
+    ExperimentConfig,
+    paper_config,
+    quick_config,
+    smoke_config,
+)
+from repro.experiments.figures import (
+    FigureSeries,
+    figure6,
+    figure7,
+    figure7_fair,
+    figure8,
+    render_figure,
+)
+from repro.experiments.harness import CaseRow, ResultSet, run_case, run_grid
+from repro.experiments.noise_study import (
+    NoisePoint,
+    render_noise_study,
+    run_noise_study,
+)
+from repro.experiments.report import generate_report
+from repro.experiments.sensitivity import (
+    KSensitivityPoint,
+    render_k_sensitivity,
+    run_k_sensitivity,
+)
+from repro.experiments.speedup import (
+    SpeedupPoint,
+    render_speedup,
+    run_speedup_experiment,
+)
+from repro.experiments.tables import render_table2, table2_rows
+
+__all__ = [
+    "ConvergencePoint",
+    "partial_merge_distance_ops",
+    "render_convergence_study",
+    "run_convergence_study",
+    "serial_distance_ops",
+    "ExperimentConfig",
+    "paper_config",
+    "quick_config",
+    "smoke_config",
+    "FigureSeries",
+    "figure6",
+    "figure7",
+    "figure7_fair",
+    "figure8",
+    "render_figure",
+    "CaseRow",
+    "ResultSet",
+    "run_case",
+    "run_grid",
+    "generate_report",
+    "NoisePoint",
+    "render_noise_study",
+    "run_noise_study",
+    "KSensitivityPoint",
+    "render_k_sensitivity",
+    "run_k_sensitivity",
+    "SpeedupPoint",
+    "render_speedup",
+    "run_speedup_experiment",
+    "render_table2",
+    "table2_rows",
+]

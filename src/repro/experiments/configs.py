@@ -1,0 +1,102 @@
+"""Experiment configurations.
+
+``paper_config`` is the full Section 5.1 grid (k=40, R=10, N up to 75,000,
+5 versions); ``quick_config`` is a laptop/CI-scale version that preserves
+every structural property of the experiment (same split ratios, same
+relative N progression) at a fraction of the cost.  All benchmark targets
+accept a config so the full grid can be regenerated verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.datasets import (
+    PAPER_CELL_SIZES,
+    PAPER_K,
+    PAPER_RESTARTS,
+    PAPER_SPLITS,
+    PAPER_VERSIONS,
+)
+
+__all__ = ["ExperimentConfig", "paper_config", "quick_config", "smoke_config"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Everything needed to regenerate the paper's evaluation.
+
+    Attributes:
+        sizes: grid-cell point counts (the x-axis of every figure).
+        k: centroids per cell.
+        restarts: seed restarts per k-means (the paper's ``R``).
+        splits: chunk counts for the partial/merge cases.
+        versions: datasets generated per size.
+        seed: determinism anchor.
+        max_iter: Lloyd iteration cap.
+        label: configuration name used in output headers.
+    """
+
+    sizes: tuple[int, ...] = PAPER_CELL_SIZES
+    k: int = PAPER_K
+    restarts: int = PAPER_RESTARTS
+    splits: tuple[int, ...] = PAPER_SPLITS
+    versions: int = PAPER_VERSIONS
+    seed: int = 20040301
+    max_iter: int = 300
+    label: str = "paper"
+
+    def __post_init__(self) -> None:
+        if not self.sizes:
+            raise ValueError("sizes must be non-empty")
+        if self.k < 1:
+            raise ValueError(f"k must be >= 1, got {self.k}")
+        if self.restarts < 1:
+            raise ValueError(f"restarts must be >= 1, got {self.restarts}")
+        if any(s < 2 for s in self.splits):
+            raise ValueError("split counts must be >= 2")
+        if self.versions < 1:
+            raise ValueError(f"versions must be >= 1, got {self.versions}")
+        if any(size < self.k for size in self.sizes):
+            raise ValueError("every size must be >= k so seeding is feasible")
+
+    @property
+    def cases(self) -> tuple[str, ...]:
+        """Case labels in reporting order: serial first, then splits."""
+        return ("serial",) + tuple(f"{p}split" for p in self.splits)
+
+
+def paper_config() -> ExperimentConfig:
+    """The full Section 5.1 configuration (hours of CPU)."""
+    return ExperimentConfig()
+
+
+def quick_config() -> ExperimentConfig:
+    """A ~50x cheaper configuration preserving the experiment's shape.
+
+    Sizes keep the paper's relative progression (1 : 10 : 50 : 100 : 200 :
+    300 scaled down); k scales with the smallest cell so the k/N ratio at
+    the low end matches the paper's 40/250.
+    """
+    return ExperimentConfig(
+        sizes=(250, 1_000, 2_500, 5_000, 10_000, 15_000),
+        k=40,
+        restarts=3,
+        splits=PAPER_SPLITS,
+        versions=2,
+        max_iter=100,
+        label="quick",
+    )
+
+
+def smoke_config() -> ExperimentConfig:
+    """Seconds-scale configuration for tests."""
+    return ExperimentConfig(
+        sizes=(120, 600),
+        k=8,
+        restarts=2,
+        splits=(3, 5),
+        versions=1,
+        max_iter=50,
+        label="smoke",
+    )

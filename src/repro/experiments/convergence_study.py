@@ -1,0 +1,160 @@
+"""Convergence study: the paper's Section 3.2 complexity argument.
+
+The partial/merge speedup rests on two claims about Lloyd iteration
+counts:
+
+* serial: "The algorithm uses I iterations to converge ... If N is
+  large, then I increases [sharply]" — iterations grow with cell size;
+* partial: "Since N' << N, consequently I' << I for each data
+  partition" — chunks converge in fewer iterations, so the summed
+  partial cost O(N·K·I') beats the serial O(N·K·I).
+
+:func:`run_convergence_study` measures both I and I' across cell sizes;
+the cost-model helpers turn the measured iteration counts into predicted
+distance-computation counts so the analytical model can be compared with
+measured wall time (``benchmarks/test_bench_convergence.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pipeline import PartialMergeKMeans
+from repro.baselines.serial import SerialKMeans
+from repro.data.generator import generate_cell_points
+
+__all__ = [
+    "ConvergencePoint",
+    "run_convergence_study",
+    "serial_distance_ops",
+    "partial_merge_distance_ops",
+    "render_convergence_study",
+]
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """Measured iteration behaviour for one cell size.
+
+    Attributes:
+        n_points: cell size.
+        serial_iterations: mean Lloyd iterations per serial restart.
+        partial_iterations: mean Lloyd iterations per partial restart
+            (averaged over chunks).
+        serial_seconds: serial wall time.
+        partial_merge_seconds: partial/merge wall time.
+        n_chunks: chunks used for the partial case.
+    """
+
+    n_points: int
+    serial_iterations: float
+    partial_iterations: float
+    serial_seconds: float
+    partial_merge_seconds: float
+    n_chunks: int
+
+
+def serial_distance_ops(
+    n_points: int, k: int, iterations: float, restarts: int
+) -> float:
+    """The paper's serial cost model O(R·I·K·N) in distance computations."""
+    return restarts * iterations * k * n_points
+
+
+def partial_merge_distance_ops(
+    n_points: int,
+    k: int,
+    partial_iterations: float,
+    restarts: int,
+    n_chunks: int,
+    merge_iterations: float = 0.0,
+) -> float:
+    """The paper's partial/merge cost model.
+
+    Partial: O(R·I'·K·N) summed over chunks (each point processed in one
+    chunk); merge: O(I2·K·(K·p)) over the pooled centroids.
+    """
+    partial = restarts * partial_iterations * k * n_points
+    merge = merge_iterations * k * (k * n_chunks)
+    return partial + merge
+
+
+def run_convergence_study(
+    sizes: tuple[int, ...] = (500, 2_000, 8_000, 20_000),
+    k: int = 40,
+    restarts: int = 3,
+    n_chunks: int = 10,
+    seed: int = 0,
+    max_iter: int = 300,
+) -> list[ConvergencePoint]:
+    """Measure serial and partial iteration counts across cell sizes."""
+    if any(size < k for size in sizes):
+        raise ValueError("every size must be >= k")
+    points_list: list[ConvergencePoint] = []
+    for index, n_points in enumerate(sizes):
+        data = generate_cell_points(n_points, seed=seed + index)
+
+        serial_model = SerialKMeans(
+            k, restarts=restarts, max_iter=max_iter, seed=seed
+        ).fit(data)
+        serial_iters = float(np.mean(serial_model.extra["iterations"]))
+
+        chunks = min(n_chunks, n_points)
+        report = PartialMergeKMeans(
+            k=k,
+            restarts=restarts,
+            n_chunks=chunks,
+            max_iter=max_iter,
+            seed=seed,
+        ).fit(data)
+        # partial_iterations in extra counts total over restarts per chunk.
+        per_chunk_totals = report.model.extra["partial_iterations"]
+        partial_iters = float(np.mean(per_chunk_totals)) / restarts
+
+        points_list.append(
+            ConvergencePoint(
+                n_points=n_points,
+                serial_iterations=serial_iters,
+                partial_iterations=partial_iters,
+                serial_seconds=serial_model.total_seconds,
+                partial_merge_seconds=report.model.total_seconds,
+                n_chunks=chunks,
+            )
+        )
+    return points_list
+
+
+def render_convergence_study(
+    study: list[ConvergencePoint], k: int = 40, restarts: int = 3
+) -> str:
+    """Fixed-width table: measured iterations and modelled cost ratios."""
+    header = (
+        f"{'N':>8} {'I (serial)':>11} {'I` (partial)':>13} "
+        f"{'model speedup':>14} {'measured speedup':>17}"
+    )
+    lines = [
+        "Convergence study — iterations to converge and the paper's cost model",
+        header,
+        "-" * len(header),
+    ]
+    for point in study:
+        model_ratio = serial_distance_ops(
+            point.n_points, k, point.serial_iterations, restarts
+        ) / partial_merge_distance_ops(
+            point.n_points,
+            k,
+            point.partial_iterations,
+            restarts,
+            point.n_chunks,
+        )
+        measured_ratio = point.serial_seconds / max(
+            point.partial_merge_seconds, 1e-9
+        )
+        lines.append(
+            f"{point.n_points:>8,} {point.serial_iterations:>11.1f} "
+            f"{point.partial_iterations:>13.1f} {model_ratio:>14.2f} "
+            f"{measured_ratio:>17.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Figure series: regenerate the paper's Figures 6, 7 and 8.
+
+Each ``figure*`` function extracts the relevant series from a
+:class:`~repro.experiments.harness.ResultSet`; ``render_figure`` prints an
+ASCII chart so benchmark output is self-contained in a terminal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.harness import ResultSet
+
+__all__ = ["FigureSeries", "figure6", "figure7", "figure8", "render_figure"]
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One figure's data.
+
+    Attributes:
+        title: figure caption.
+        x_label: x-axis label.
+        y_label: y-axis label.
+        x: shared x values (cell sizes).
+        series: mapping from case label to y values.
+    """
+
+    title: str
+    x_label: str
+    y_label: str
+    x: list[int]
+    series: dict[str, list[float]]
+
+
+def _collect(results: ResultSet, column: str, cases: tuple[str, ...]) -> tuple:
+    x = list(results.config.sizes)
+    series = {case: results.series(case, column)[1] for case in cases}
+    return x, series
+
+
+def figure6(results: ResultSet) -> FigureSeries:
+    """Figure 6: overall execution time, serial vs partial/merge."""
+    x, series = _collect(results, "overall_seconds", results.config.cases)
+    return FigureSeries(
+        title="Figure 6 — Overall Processing Time: Serial vs Partial/Merge K-Means",
+        x_label="Number of data points per grid cell",
+        y_label="Processing time (s)",
+        x=x,
+        series=series,
+    )
+
+
+def figure7(results: ResultSet) -> FigureSeries:
+    """Figure 7: minimum MSE, serial vs partial/merge.
+
+    Uses the paper's Section 5.2 metric: raw-point MSE for serial,
+    weighted-centroid error ``E_pm`` for the split cases.  See
+    :func:`figure7_fair` for the like-for-like variant.
+    """
+    x, series = _collect(results, "paper_mse", results.config.cases)
+    return FigureSeries(
+        title="Figure 7 — Minimum MSE: Serial vs Partial/Merge K-Means",
+        x_label="Number of data points per grid cell",
+        y_label=f"MSE (K={results.config.k}, paper's metric)",
+        x=x,
+        series=series,
+    )
+
+
+def figure7_fair(results: ResultSet) -> FigureSeries:
+    """Figure 7 variant scoring every model on the raw points.
+
+    Not in the paper; included because the paper's protocol scores
+    serial and partial/merge on different data (see DESIGN.md).
+    """
+    x, series = _collect(results, "mse", results.config.cases)
+    return FigureSeries(
+        title="Figure 7b — Raw-point MSE (like-for-like): Serial vs Partial/Merge",
+        x_label="Number of data points per grid cell",
+        y_label=f"MSE (K={results.config.k}, raw points)",
+        x=x,
+        series=series,
+    )
+
+
+def figure8(results: ResultSet) -> FigureSeries:
+    """Figure 8: partial k-means processing time, 5-split vs 10-split."""
+    split_cases = tuple(c for c in results.config.cases if c != "serial")
+    x, series = _collect(results, "partial_seconds", split_cases)
+    return FigureSeries(
+        title="Figure 8 — Partial K-Means Processing Time: 5-split vs 10-split",
+        x_label="Number of data points per grid cell",
+        y_label="Partial k-means time (s)",
+        x=x,
+        series=series,
+    )
+
+
+_MARKS = "*+xo#@"
+
+
+def render_figure(figure: FigureSeries, width: int = 72, height: int = 18) -> str:
+    """ASCII line chart of a :class:`FigureSeries`."""
+    all_y = [y for ys in figure.series.values() for y in ys]
+    y_max = max(all_y) if all_y else 1.0
+    y_max = y_max if y_max > 0 else 1.0
+    x_min, x_max = min(figure.x), max(figure.x)
+    x_span = max(x_max - x_min, 1)
+
+    canvas = [[" "] * width for __ in range(height)]
+    for series_index, (case, ys) in enumerate(figure.series.items()):
+        mark = _MARKS[series_index % len(_MARKS)]
+        for x_value, y_value in zip(figure.x, ys):
+            col = int((x_value - x_min) / x_span * (width - 1))
+            row = height - 1 - int(y_value / y_max * (height - 1))
+            canvas[row][col] = mark
+
+    lines = [figure.title, ""]
+    for row_index, row in enumerate(canvas):
+        if row_index == 0:
+            label = f"{y_max:10.1f} |"
+        elif row_index == height - 1:
+            label = f"{0.0:10.1f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * (width - 1))
+    lines.append(
+        " " * 11 + f"{x_min:<12,}{figure.x_label:^{max(0, width - 26)}}{x_max:>12,}"
+    )
+    legend = "   ".join(
+        f"{_MARKS[i % len(_MARKS)]} {case}"
+        for i, case in enumerate(figure.series)
+    )
+    lines.append(" " * 11 + legend)
+    lines.append(" " * 11 + f"y: {figure.y_label}")
+    return "\n".join(lines)

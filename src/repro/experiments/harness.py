@@ -1,0 +1,198 @@
+"""Experiment harness: run the paper's cases over the workload grid.
+
+One :class:`CaseRow` per (cell size, dataset version, case), where a case
+is ``"serial"`` or ``"<p>split"``.  The harness evaluates every model's
+MSE against the raw cell points so serial and partial/merge numbers are
+directly comparable (the paper's Table 2 / Figures 6-8 protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.serial import SerialKMeans
+from repro.core.pipeline import PartialMergeKMeans
+from repro.core.quality import mse as evaluate_mse
+from repro.data.generator import generate_cell_points
+from repro.experiments.configs import ExperimentConfig
+
+__all__ = ["CaseRow", "ResultSet", "run_case", "run_grid"]
+
+
+@dataclass(frozen=True)
+class CaseRow:
+    """One measured experiment cell.
+
+    Two quality metrics are recorded because the paper's Section 5.2
+    protocol scores the two algorithms on different data: the serial MSE
+    is computed over the raw points, while the partial/merge MSE is the
+    weighted error ``E_pm`` over the partials' *centroids* ("the weighted
+    distance between the final centroids and the weighted data points in
+    their cluster").  ``paper_mse`` replicates that protocol (and hence
+    Table 2 / Figure 7); ``mse`` scores every model against the raw cell
+    points, which is the fair like-for-like comparison.
+
+    Attributes:
+        n_points: cell size.
+        version: dataset version index.
+        case: ``"serial"`` or ``"<p>split"``.
+        mse: model MSE against the raw cell points (fair metric).
+        paper_mse: the paper's metric (equals ``mse`` for serial).
+        partial_seconds: time in partial k-means (0 for serial).
+        merge_seconds: time in merge k-means (0 for serial).
+        overall_seconds: end-to-end time for the case.
+    """
+
+    n_points: int
+    version: int
+    case: str
+    mse: float
+    paper_mse: float
+    partial_seconds: float
+    merge_seconds: float
+    overall_seconds: float
+
+
+@dataclass
+class ResultSet:
+    """All rows of one experiment run, with aggregation helpers."""
+
+    config: ExperimentConfig
+    rows: list[CaseRow] = field(default_factory=list)
+
+    def mean_over_versions(self, n_points: int, case: str) -> CaseRow:
+        """Aggregate metric columns across dataset versions.
+
+        Times are averaged.  Quality columns use the *median*: the merge
+        step occasionally lands in a collapsed local optimum on one of
+        the versions (see EXPERIMENTS.md), and a mean would let that
+        single outlier misrepresent the typical behaviour the paper's
+        min-selected "Min MSE" column reports.
+        """
+        matching = [
+            r for r in self.rows if r.n_points == n_points and r.case == case
+        ]
+        if not matching:
+            raise KeyError(f"no rows for n_points={n_points}, case={case!r}")
+        return CaseRow(
+            n_points=n_points,
+            version=-1,
+            case=case,
+            mse=float(np.median([r.mse for r in matching])),
+            paper_mse=float(np.median([r.paper_mse for r in matching])),
+            partial_seconds=float(np.mean([r.partial_seconds for r in matching])),
+            merge_seconds=float(np.mean([r.merge_seconds for r in matching])),
+            overall_seconds=float(np.mean([r.overall_seconds for r in matching])),
+        )
+
+    def series(self, case: str, column: str) -> tuple[list[int], list[float]]:
+        """A figure series: x = sizes, y = mean ``column`` for ``case``."""
+        xs: list[int] = []
+        ys: list[float] = []
+        for n_points in self.config.sizes:
+            aggregated = self.mean_over_versions(n_points, case)
+            xs.append(n_points)
+            ys.append(getattr(aggregated, column))
+        return xs, ys
+
+
+def run_case(
+    points: np.ndarray,
+    case: str,
+    config: ExperimentConfig,
+    seed: int,
+    max_workers: int = 1,
+) -> tuple[float, float, float, float]:
+    """Run one case on one cell.
+
+    Args:
+        points: the cell's raw points.
+        case: ``"serial"`` or ``"<p>split"``.
+        config: experiment parameters.
+        seed: RNG seed for this run.
+        max_workers: partial-operator clones (1 = the paper's single-host
+            serial execution of the partial steps).
+
+    Returns:
+        ``(mse, paper_mse, partial_seconds, merge_seconds, overall_seconds)``
+        where ``mse`` is measured on the raw points and ``paper_mse``
+        follows the paper's Section 5.2 protocol (``E_pm`` over weighted
+        centroids for the split cases).
+    """
+    if case == "serial":
+        model = SerialKMeans(
+            config.k,
+            restarts=config.restarts,
+            max_iter=config.max_iter,
+            seed=seed,
+        ).fit(points)
+        model_mse = evaluate_mse(points, model.centroids)
+        return model_mse, model_mse, 0.0, 0.0, model.total_seconds
+
+    if not case.endswith("split"):
+        raise ValueError(f"unknown case {case!r}")
+    n_chunks = int(case[: -len("split")])
+    report = PartialMergeKMeans(
+        k=config.k,
+        restarts=config.restarts,
+        n_chunks=n_chunks,
+        max_workers=max_workers,
+        max_iter=config.max_iter,
+        seed=seed,
+    ).fit(points)
+    model = report.model
+    return (
+        model.mse,
+        report.merge.mse,
+        model.partial_seconds,
+        model.merge_seconds,
+        model.total_seconds,
+    )
+
+
+def run_grid(
+    config: ExperimentConfig,
+    max_workers: int = 1,
+    progress=None,
+) -> ResultSet:
+    """Run every (size, version, case) combination of ``config``.
+
+    Args:
+        config: the experiment grid.
+        max_workers: partial clones for the split cases.
+        progress: optional callable invoked with a status string after
+            each case (for CLI feedback).
+
+    Returns:
+        The populated :class:`ResultSet`.
+    """
+    results = ResultSet(config=config)
+    for size_index, n_points in enumerate(config.sizes):
+        for version in range(config.versions):
+            cell_seed = config.seed + 1_000 * size_index + version
+            points = generate_cell_points(n_points, seed=cell_seed)
+            for case_index, case in enumerate(config.cases):
+                case_seed = cell_seed * 31 + case_index
+                case_mse, paper_mse, t_partial, t_merge, t_overall = run_case(
+                    points, case, config, seed=case_seed, max_workers=max_workers
+                )
+                results.rows.append(
+                    CaseRow(
+                        n_points=n_points,
+                        version=version,
+                        case=case,
+                        mse=case_mse,
+                        paper_mse=paper_mse,
+                        partial_seconds=t_partial,
+                        merge_seconds=t_merge,
+                        overall_seconds=t_overall,
+                    )
+                )
+                if progress is not None:
+                    progress(
+                        f"N={n_points} v{version} {case}: "
+                        f"mse={case_mse:.1f} t={t_overall:.2f}s"
+                    )
+    return results

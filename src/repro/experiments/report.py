@@ -1,0 +1,160 @@
+"""One-command reproduction report.
+
+``generate_report`` runs the full evaluation — the Table 2 grid, Figures
+6/7/8, the speed-up test (measured and simulated), and the convergence
+study — and writes a self-contained markdown report.  This is the
+artifact a reviewer asks for: everything regenerated from source in one
+call, with the configuration stamped at the top.
+
+CLI: ``repro-kmeans report --config quick --out REPORT.md``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.configs import ExperimentConfig
+from repro.experiments.convergence_study import (
+    render_convergence_study,
+    run_convergence_study,
+)
+from repro.experiments.figures import (
+    figure6,
+    figure7,
+    figure7_fair,
+    figure8,
+    render_figure,
+)
+from repro.experiments.harness import ResultSet, run_grid
+from repro.experiments.speedup import render_speedup, run_speedup_experiment
+from repro.experiments.tables import render_table2
+from repro.stream.distributed import (
+    DistributedSimulation,
+    calibrate_ops_per_second,
+    paper_testbed,
+)
+
+__all__ = ["generate_report"]
+
+
+def _section(title: str, body: str) -> str:
+    return f"## {title}\n\n```\n{body}\n```\n"
+
+
+def _simulated_speedup_section() -> str:
+    ops = calibrate_ops_per_second(n_points=10_000)
+    lines = [
+        f"host calibration: {ops:.3e} distance-ops/s",
+        f"{'machines':>9} {'makespan (s)':>13} {'speedup':>8}",
+    ]
+    base = None
+    for n_machines in (1, 2, 4):
+        sim = DistributedSimulation(paper_testbed(n_machines, ops_per_second=ops))
+        report = sim.simulate_partial_merge(
+            n_points=75_000,
+            dim=6,
+            k=40,
+            n_chunks=12,
+            restarts=10,
+            partial_iterations=17.0,
+        )
+        base = base or report.makespan_seconds
+        lines.append(
+            f"{n_machines:>9} {report.makespan_seconds:>13.2f} "
+            f"{base / report.makespan_seconds:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def generate_report(
+    config: ExperimentConfig,
+    out_path: str | Path,
+    results: ResultSet | None = None,
+    include_speedup: bool = True,
+    include_convergence: bool = True,
+    progress=None,
+) -> Path:
+    """Run the evaluation and write a markdown report.
+
+    Args:
+        config: the experiment grid to run.
+        out_path: where to write the markdown.
+        results: pre-computed grid results to reuse (skips the grid run).
+        include_speedup: include the measured and simulated speed-up.
+        include_convergence: include the iteration study.
+        progress: optional status callback.
+
+    Returns:
+        The written path.
+    """
+    def report_progress(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    if results is None:
+        report_progress(f"running {config.label} grid ...")
+        results = run_grid(config, progress=progress)
+
+    sections = [
+        "# Reproduction report — partial/merge k-means (ICDE 2004)",
+        "",
+        f"Configuration: **{config.label}** — sizes {list(config.sizes)}, "
+        f"k={config.k}, restarts={config.restarts}, "
+        f"splits={list(config.splits)}, versions={config.versions}.",
+        "",
+        _section("Table 2", render_table2(results)),
+        _section("Figure 6 — overall time", render_figure(figure6(results))),
+        _section("Figure 7 — MSE (paper metric)", render_figure(figure7(results))),
+        _section(
+            "Figure 7b — MSE (raw points, like-for-like)",
+            render_figure(figure7_fair(results)),
+        ),
+        _section("Figure 8 — partial time", render_figure(figure8(results))),
+    ]
+
+    if include_speedup:
+        report_progress("running speed-up experiment ...")
+        measured = run_speedup_experiment(
+            n_points=min(20_000, max(config.sizes)),
+            k=config.k,
+            restarts=min(3, config.restarts),
+            n_chunks=max(config.splits),
+            clone_counts=(1, 2, 4),
+            max_iter=config.max_iter,
+        )
+        sections.append(
+            _section("Speed-up — measured (thread clones)", render_speedup(measured))
+        )
+        report_progress("simulating the 4-PC testbed ...")
+        sections.append(
+            _section(
+                "Speed-up — simulated shared-nothing testbed",
+                _simulated_speedup_section(),
+            )
+        )
+
+    if include_convergence:
+        report_progress("running convergence study ...")
+        study = run_convergence_study(
+            sizes=tuple(
+                size for size in (500, 2_000, 8_000, 20_000)
+                if size <= max(config.sizes)
+            )
+            or (max(config.sizes),),
+            k=config.k,
+            restarts=min(3, config.restarts),
+            max_iter=config.max_iter,
+        )
+        sections.append(
+            _section(
+                "Convergence study — iterations vs N",
+                render_convergence_study(
+                    study, k=config.k, restarts=min(3, config.restarts)
+                ),
+            )
+        )
+
+    target = Path(out_path)
+    target.write_text("\n".join(sections))
+    report_progress(f"report written to {target}")
+    return target

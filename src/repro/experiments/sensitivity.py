@@ -1,0 +1,114 @@
+"""Sensitivity of partial/merge to the choice of k.
+
+The paper fixes k = 40 and "assume[s] that we are able to make an
+appropriate choice of k"; its Section 3.3 remarks that the right
+per-partition k is an open question.  This study quantifies both:
+
+* how serial and partial/merge quality and time respond to k,
+* whether the partial/merge *advantage* (time ratio, quality ratio) is
+  robust across k — i.e. whether the paper's conclusions depend on its
+  particular choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.serial import SerialKMeans
+from repro.core.pipeline import PartialMergeKMeans
+from repro.core.quality import mse as evaluate_mse
+from repro.data.generator import generate_cell_points
+
+__all__ = ["KSensitivityPoint", "run_k_sensitivity", "render_k_sensitivity"]
+
+
+@dataclass(frozen=True)
+class KSensitivityPoint:
+    """Measurements for one k.
+
+    Attributes:
+        k: cluster count.
+        serial_mse: serial raw-point MSE.
+        serial_seconds: serial wall time.
+        split_mse: partial/merge raw-point MSE.
+        split_seconds: partial/merge wall time.
+    """
+
+    k: int
+    serial_mse: float
+    serial_seconds: float
+    split_mse: float
+    split_seconds: float
+
+    @property
+    def time_ratio(self) -> float:
+        """Serial time over partial/merge time (the speed advantage)."""
+        return self.serial_seconds / max(self.split_seconds, 1e-9)
+
+    @property
+    def quality_ratio(self) -> float:
+        """Partial/merge MSE over serial MSE (1.0 = equal quality)."""
+        return self.split_mse / max(self.serial_mse, 1e-12)
+
+
+def run_k_sensitivity(
+    ks: tuple[int, ...] = (10, 20, 40, 80),
+    n_points: int = 10_000,
+    restarts: int = 3,
+    n_chunks: int = 10,
+    seed: int = 0,
+    max_iter: int = 100,
+    merge_restarts: int = 2,
+) -> list[KSensitivityPoint]:
+    """Measure both algorithms across cluster counts on one cell.
+
+    ``merge_restarts`` defaults to 2 (the library's merge-collapse repair,
+    see EXPERIMENTS.md): a single-seed sweep would otherwise conflate k
+    sensitivity with the occasional collapsed merge optimum.
+    """
+    if any(k < 1 for k in ks):
+        raise ValueError("all k values must be >= 1")
+    if any(k > n_points for k in ks):
+        raise ValueError("k cannot exceed n_points")
+    points = generate_cell_points(n_points, seed=seed)
+    measurements: list[KSensitivityPoint] = []
+    for k in ks:
+        serial = SerialKMeans(
+            k, restarts=restarts, max_iter=max_iter, seed=seed
+        ).fit(points)
+        split = PartialMergeKMeans(
+            k=k,
+            restarts=restarts,
+            n_chunks=min(n_chunks, n_points // max(k, 1)) or 1,
+            max_iter=max_iter,
+            seed=seed,
+            merge_restarts=merge_restarts,
+        ).fit(points)
+        measurements.append(
+            KSensitivityPoint(
+                k=k,
+                serial_mse=evaluate_mse(points, serial.centroids),
+                serial_seconds=serial.total_seconds,
+                split_mse=split.model.mse,
+                split_seconds=split.model.total_seconds,
+            )
+        )
+    return measurements
+
+
+def render_k_sensitivity(points: list[KSensitivityPoint]) -> str:
+    """Fixed-width table of the k sweep."""
+    header = (
+        f"{'k':>5} {'serial mse':>11} {'split mse':>10} "
+        f"{'quality ratio':>14} {'serial t':>9} {'split t':>8} "
+        f"{'time ratio':>11}"
+    )
+    lines = ["k-sensitivity — serial vs partial/merge across cluster counts",
+             header, "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.k:>5} {point.serial_mse:>11.3f} {point.split_mse:>10.3f} "
+            f"{point.quality_ratio:>14.2f} {point.serial_seconds:>9.3f} "
+            f"{point.split_seconds:>8.3f} {point.time_ratio:>11.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,108 @@
+"""Parallel speed-up experiment.
+
+The paper's second test configuration: "speed-up of the processing if the
+partial k-means operators are parallelized, and run on different
+machines".  We run the streamed partial/merge pipeline with an increasing
+number of partial-operator clones (our stand-in for machines) and report
+wall-clock speed-up relative to one clone, plus per-clone utilization from
+the engine's metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.generator import generate_cell_points
+from repro.stream.kmeans_ops import run_partial_merge_stream
+from repro.stream.scheduler import ResourceManager
+
+__all__ = ["SpeedupPoint", "run_speedup_experiment", "render_speedup"]
+
+
+@dataclass(frozen=True)
+class SpeedupPoint:
+    """One clone-count measurement.
+
+    Attributes:
+        clones: partial-operator instances.
+        wall_seconds: end-to-end pipeline time.
+        speedup: t(1 clone) / t(this clone count).
+        efficiency: speedup / clones.
+        partial_busy_seconds: summed busy time across partial clones.
+    """
+
+    clones: int
+    wall_seconds: float
+    speedup: float
+    efficiency: float
+    partial_busy_seconds: float
+
+
+def run_speedup_experiment(
+    n_points: int = 20_000,
+    k: int = 40,
+    restarts: int = 3,
+    n_chunks: int = 10,
+    clone_counts: tuple[int, ...] = (1, 2, 4),
+    seed: int = 7,
+    max_iter: int = 100,
+) -> list[SpeedupPoint]:
+    """Measure pipeline wall time versus partial clone count.
+
+    Note:
+        Clones are threads; numpy's C kernels release the GIL during the
+        distance computations that dominate, so thread clones approximate
+        the paper's separate machines for the dominant cost.
+
+    Returns:
+        One :class:`SpeedupPoint` per clone count, in the given order.
+    """
+    if any(c < 1 for c in clone_counts):
+        raise ValueError("clone counts must be >= 1")
+    points = generate_cell_points(n_points, seed=seed)
+    cells = {"cell": points}
+    resources = ResourceManager(worker_slots=max(clone_counts) + 2)
+
+    timings: list[tuple[int, float, float]] = []
+    for clones in clone_counts:
+        __, outcome = run_partial_merge_stream(
+            cells,
+            k=k,
+            restarts=restarts,
+            n_chunks=n_chunks,
+            resources=resources,
+            partial_clones=clones,
+            seed=seed,
+            max_iter=max_iter,
+        )
+        busy = outcome.metrics.busy_seconds_for("partial")
+        timings.append((clones, outcome.metrics.wall_seconds, busy))
+
+    base_wall = timings[0][1]
+    return [
+        SpeedupPoint(
+            clones=clones,
+            wall_seconds=wall,
+            speedup=base_wall / wall if wall > 0 else float("inf"),
+            efficiency=(base_wall / wall / clones) if wall > 0 else float("inf"),
+            partial_busy_seconds=busy,
+        )
+        for clones, wall, busy in timings
+    ]
+
+
+def render_speedup(points: list[SpeedupPoint]) -> str:
+    """Fixed-width text table of the speed-up experiment."""
+    header = (
+        f"{'clones':>7} {'wall (s)':>10} {'speedup':>9} "
+        f"{'efficiency':>11} {'partial busy (s)':>17}"
+    )
+    lines = ["Speed-up — partial k-means clones (stand-in for machines)", header,
+             "-" * len(header)]
+    for point in points:
+        lines.append(
+            f"{point.clones:>7} {point.wall_seconds:>10.3f} "
+            f"{point.speedup:>9.2f} {point.efficiency:>11.2f} "
+            f"{point.partial_busy_seconds:>17.3f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Conquest-style data-stream engine.
+
+The substrate the paper's prototype ran on: pipelined operators connected
+by bounded smart queues, compiled from a logical dataflow graph into a
+physical plan whose parallelizable operators are cloned according to the
+available resources.
+
+Public surface:
+
+* :class:`~repro.stream.graph.DataflowGraph` — logical queries.
+* :class:`~repro.stream.planner.Planner` /
+  :class:`~repro.stream.executor.Executor` — compile and run.
+* :class:`~repro.stream.scheduler.ResourceManager` — memory/worker envelope.
+* :mod:`~repro.stream.kmeans_ops` — the paper's partial/merge operators.
+"""
+
+from repro.stream.adaptive import AdaptationEvent, AdaptiveExecutor
+from repro.stream.distributed import (
+    ClusterSpec,
+    DistributedSimulation,
+    MachineSpec,
+    NetworkSpec,
+    SimEvent,
+    SimReport,
+    calibrate_ops_per_second,
+    paper_testbed,
+)
+from repro.stream.errors import (
+    ExecutionError,
+    GraphValidationError,
+    OperatorError,
+    QueueClosedError,
+    StreamError,
+)
+from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.file_source import BucketFileSource
+from repro.stream.graph import DataflowGraph
+from repro.stream.items import CentroidMessage, DataChunk, ModelMessage, Watermark
+from repro.stream.kmeans_ops import (
+    GridCellChunkSource,
+    MergeKMeansSink,
+    PartialKMeansOperator,
+    build_partial_merge_graph,
+    run_partial_merge_stream,
+)
+from repro.stream.metrics import ExecutionMetrics, OperatorMetrics
+from repro.stream.operators import FunctionTransform, Operator, Sink, Source, Transform
+from repro.stream.planner import PhysicalOperator, PhysicalPlan, Planner
+from repro.stream.query import Query, QueryError, QueryResult
+from repro.stream.queues import END_OF_STREAM, QueueStats, SmartQueue
+from repro.stream.tracing import dump_metrics_json, metrics_to_dict, render_gantt
+from repro.stream.scheduler import DEFAULT_MEMORY_BUDGET, ResourceManager
+
+__all__ = [
+    "AdaptationEvent",
+    "AdaptiveExecutor",
+    "ClusterSpec",
+    "DistributedSimulation",
+    "MachineSpec",
+    "NetworkSpec",
+    "SimEvent",
+    "SimReport",
+    "calibrate_ops_per_second",
+    "paper_testbed",
+    "StreamError",
+    "GraphValidationError",
+    "QueueClosedError",
+    "OperatorError",
+    "ExecutionError",
+    "ExecutionResult",
+    "Executor",
+    "BucketFileSource",
+    "DataflowGraph",
+    "CentroidMessage",
+    "DataChunk",
+    "ModelMessage",
+    "Watermark",
+    "GridCellChunkSource",
+    "MergeKMeansSink",
+    "PartialKMeansOperator",
+    "build_partial_merge_graph",
+    "run_partial_merge_stream",
+    "ExecutionMetrics",
+    "OperatorMetrics",
+    "FunctionTransform",
+    "Operator",
+    "Sink",
+    "Source",
+    "Transform",
+    "PhysicalOperator",
+    "PhysicalPlan",
+    "Planner",
+    "Query",
+    "QueryError",
+    "QueryResult",
+    "END_OF_STREAM",
+    "QueueStats",
+    "SmartQueue",
+    "DEFAULT_MEMORY_BUDGET",
+    "ResourceManager",
+    "dump_metrics_json",
+    "metrics_to_dict",
+    "render_gantt",
+]

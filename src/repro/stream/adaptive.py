@@ -1,0 +1,253 @@
+"""Dynamic re-optimization: clone hot operators while the query runs.
+
+Conquest "includes a query re-optimizer for dynamic adaptation of long
+running queries" (paper Section 4; Ng, Wang, Muntz & Nittel, SSDBM'99).
+The paper's prototype did not exploit it; this module implements the
+mechanism so the engine is complete:
+
+:class:`AdaptiveExecutor` runs a physical plan like the base
+:class:`~repro.stream.executor.Executor`, plus a monitor thread that
+samples every cloneable transform's input queue.  A queue that stays
+above an occupancy threshold for several consecutive samples marks its
+consumer as a bottleneck; the executor then clones that operator
+*mid-run* and wires the clone to the same queues.
+
+Safety relies on the multi-producer close protocol: for every cloneable
+transform the executor reserves one producer slot on the transform's
+output queue up front, and releases it only when that transform can never
+be cloned again (its input queue closed and every instance finished).
+Downstream consumers therefore cannot observe end-of-stream while a late
+clone might still appear.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.stream.errors import ExecutionError, OperatorError
+from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.metrics import ExecutionMetrics, OperatorMetrics
+from repro.stream.operators import Transform
+from repro.stream.planner import PhysicalOperator, PhysicalPlan
+
+__all__ = ["AdaptationEvent", "AdaptiveExecutor"]
+
+
+@dataclass(frozen=True)
+class AdaptationEvent:
+    """One mid-run cloning decision.
+
+    Attributes:
+        at_seconds: seconds since execution start.
+        logical_name: operator that was cloned.
+        clone_name: physical name of the new instance.
+        queue_occupancy: occupancy fraction that triggered the clone.
+    """
+
+    at_seconds: float
+    logical_name: str
+    clone_name: str
+    queue_occupancy: float
+
+
+@dataclass
+class _Template:
+    """Cloning state for one adaptable logical operator."""
+
+    physical: PhysicalOperator
+    instances: list[threading.Thread] = field(default_factory=list)
+    hot_streak: int = 0
+    clones_added: int = 0
+    reserve_released: bool = False
+
+
+class AdaptiveExecutor(Executor):
+    """Executor with mid-run operator cloning.
+
+    Args:
+        max_extra_clones: cap on clones added per logical operator.
+        occupancy_threshold: input-queue occupancy fraction considered hot.
+        sample_interval: monitor sampling period in seconds.
+        patience: consecutive hot samples required before cloning (guards
+            against transient bursts).
+    """
+
+    def __init__(
+        self,
+        max_extra_clones: int = 2,
+        occupancy_threshold: float = 0.75,
+        sample_interval: float = 0.01,
+        patience: int = 3,
+    ) -> None:
+        if max_extra_clones < 0:
+            raise ValueError("max_extra_clones must be >= 0")
+        if not 0.0 < occupancy_threshold <= 1.0:
+            raise ValueError("occupancy_threshold must be in (0, 1]")
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.max_extra_clones = max_extra_clones
+        self.occupancy_threshold = occupancy_threshold
+        self.sample_interval = sample_interval
+        self.patience = patience
+        #: Events of the most recent run (read by callers and tests).
+        self.events: list[AdaptationEvent] = []
+
+    def run(self, plan: PhysicalPlan) -> ExecutionResult:
+        """Execute ``plan`` with the adaptation monitor attached."""
+        if not plan.operators:
+            raise ExecutionError([])
+        failures: list[OperatorError] = []
+        lock = threading.Lock()
+        all_metrics: list[OperatorMetrics] = []
+        all_threads: list[threading.Thread] = []
+        sink_box: dict[str, object] = {}
+        events: list[AdaptationEvent] = []
+        monitor_done = threading.Event()
+
+        def record_failure(error: OperatorError) -> None:
+            with lock:
+                failures.append(error)
+            for queue in plan.queues.values():
+                queue.abort()
+
+        def spawn(physical: PhysicalOperator) -> threading.Thread:
+            metrics = OperatorMetrics(name=physical.name)
+            thread = threading.Thread(
+                target=self._run_operator,
+                args=(physical, metrics, record_failure, sink_box),
+                name=f"stream-{physical.name}",
+                daemon=True,
+            )
+            with lock:
+                all_metrics.append(metrics)
+                all_threads.append(thread)
+            thread.start()
+            return thread
+
+        # One template per cloneable logical transform; reserve a producer
+        # slot on its output queue so late clones remain legal.
+        templates: dict[str, _Template] = {}
+        for physical in plan.operators:
+            if (
+                isinstance(physical.operator, Transform)
+                and physical.operator.parallelizable
+                and physical.input_queue is not None
+                and physical.output_queue is not None
+            ):
+                template = templates.setdefault(
+                    physical.logical_name, _Template(physical=physical)
+                )
+                if template.physical is physical:
+                    physical.output_queue.register_producer()
+
+        started = time.perf_counter()
+        for physical in plan.operators:
+            thread = spawn(physical)
+            template = templates.get(physical.logical_name)
+            if template is not None:
+                template.instances.append(thread)
+
+        def release_reserve(template: _Template) -> None:
+            if not template.reserve_released:
+                template.reserve_released = True
+                assert template.physical.output_queue is not None
+                template.physical.output_queue.producer_done()
+
+        def monitor() -> None:
+            try:
+                while True:
+                    active = [
+                        t for t in templates.values() if not t.reserve_released
+                    ]
+                    if not active:
+                        return
+                    time.sleep(self.sample_interval)
+                    for template in active:
+                        queue = template.physical.input_queue
+                        assert queue is not None
+                        instances_done = all(
+                            not thread.is_alive()
+                            for thread in template.instances
+                        )
+                        if queue.closed and instances_done:
+                            # This stage can never need another clone.
+                            release_reserve(template)
+                            continue
+                        occupancy = len(queue) / queue.capacity
+                        if occupancy >= self.occupancy_threshold:
+                            template.hot_streak += 1
+                        else:
+                            template.hot_streak = 0
+                        can_clone = (
+                            template.hot_streak >= self.patience
+                            and template.clones_added < self.max_extra_clones
+                            and not queue.closed
+                        )
+                        if can_clone:
+                            logical = template.physical.logical_name
+                            base = plan.clone_counts.get(logical, 1)
+                            clone_name = (
+                                f"{logical}#adaptive{base + template.clones_added}"
+                            )
+                            assert template.physical.output_queue is not None
+                            template.physical.output_queue.register_producer()
+                            clone = PhysicalOperator(
+                                name=clone_name,
+                                logical_name=logical,
+                                operator=template.physical.operator.clone(),
+                                input_queue=template.physical.input_queue,
+                                output_queue=template.physical.output_queue,
+                            )
+                            template.instances.append(spawn(clone))
+                            template.clones_added += 1
+                            template.hot_streak = 0
+                            events.append(
+                                AdaptationEvent(
+                                    at_seconds=time.perf_counter() - started,
+                                    logical_name=logical,
+                                    clone_name=clone_name,
+                                    queue_occupancy=occupancy,
+                                )
+                            )
+            finally:
+                for template in templates.values():
+                    release_reserve(template)
+                monitor_done.set()
+
+        monitor_thread = threading.Thread(
+            target=monitor, name="stream-adaptive-monitor", daemon=True
+        )
+        monitor_thread.start()
+
+        # Join everything; the monitor may add threads while we join.
+        joined = 0
+        while True:
+            with lock:
+                current = list(all_threads)
+            for thread in current[joined:]:
+                thread.join()
+            joined = len(current)
+            with lock:
+                stable = joined == len(all_threads)
+            if stable and monitor_done.is_set():
+                break
+            if stable:
+                # All current work finished; give the monitor one tick to
+                # notice and release its reserves.
+                monitor_done.wait(timeout=self.sample_interval * 2)
+        monitor_thread.join()
+
+        wall = time.perf_counter() - started
+        self.events = list(events)
+        metrics = ExecutionMetrics(
+            wall_seconds=wall,
+            operators=all_metrics,
+            queues={q.name: q.stats for q in plan.queues.values()},
+        )
+        if failures:
+            raise ExecutionError(failures)
+        return ExecutionResult(value=sink_box.get("result"), metrics=metrics)

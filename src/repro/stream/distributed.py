@@ -1,0 +1,407 @@
+"""Event-driven simulation of a shared-nothing cluster.
+
+The paper's testbed was four Dell PCs (2.8 GHz P4, 1 GB RAM) on a Netgear
+gigabit switch; this environment exposes a single CPU, so wall-clock
+multi-machine speed-up cannot be *measured* here.  Following the
+reproduction's substitution rule, this module simulates that deployment:
+
+* :class:`MachineSpec` / :class:`NetworkSpec` / :class:`ClusterSpec`
+  describe the hardware (compute throughput in distance-operations/s,
+  link latency and bandwidth).
+* :class:`DistributedSimulation` schedules the partial/merge query onto
+  the cluster with greedy earliest-available placement: chunks ship from
+  the storage node to their machine, partial k-means runs locally,
+  weighted centroids ship to the coordinator, the merge runs there.
+  It also simulates Figure 2's Method C (distance-partitioned k-means)
+  with its per-iteration mean broadcasts and point migrations, so the
+  paper's communication argument is quantified on equal hardware.
+* :func:`calibrate_ops_per_second` measures the *real* Lloyd kernel on
+  this host so simulated single-machine times line up with measured ones
+  (the simulator is anchored, not free-floating).
+
+Costs use the paper's own unit — distance computations, O(points × k ×
+iterations) — so the simulation inherits the Section 3.2 complexity
+model directly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "MachineSpec",
+    "NetworkSpec",
+    "ClusterSpec",
+    "SimEvent",
+    "SimReport",
+    "DistributedSimulation",
+    "calibrate_ops_per_second",
+    "paper_testbed",
+]
+
+_FLOAT_BYTES = 8
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """One worker machine.
+
+    Attributes:
+        name: label used in events.
+        ops_per_second: distance computations per second (calibrate with
+            :func:`calibrate_ops_per_second` to anchor to real hardware).
+    """
+
+    name: str
+    ops_per_second: float = 2.0e8
+
+    def __post_init__(self) -> None:
+        if self.ops_per_second <= 0:
+            raise ValueError("ops_per_second must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The interconnect.
+
+    Attributes:
+        latency_seconds: per-message latency.
+        bandwidth_bytes_per_second: per-link throughput.
+    """
+
+    latency_seconds: float = 1e-4
+    bandwidth_bytes_per_second: float = 125e6  # ~1 GbE
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise ValueError("latency_seconds must be >= 0")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise ValueError("bandwidth must be positive")
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` point-to-point."""
+        return self.latency_seconds + n_bytes / self.bandwidth_bytes_per_second
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of machines plus their interconnect.
+
+    Machine 0 doubles as the storage node and merge coordinator, like
+    the paper's NFS-mounted setup.
+    """
+
+    machines: tuple[MachineSpec, ...]
+    network: NetworkSpec = NetworkSpec()
+
+    def __post_init__(self) -> None:
+        if not self.machines:
+            raise ValueError("cluster needs at least one machine")
+
+    @property
+    def n_machines(self) -> int:
+        return len(self.machines)
+
+
+def paper_testbed(n_machines: int = 4, ops_per_second: float = 2.0e8) -> ClusterSpec:
+    """The paper's testbed shape: n identical PCs on a gigabit switch."""
+    if n_machines < 1:
+        raise ValueError("n_machines must be >= 1")
+    return ClusterSpec(
+        machines=tuple(
+            MachineSpec(name=f"pc{i}", ops_per_second=ops_per_second)
+            for i in range(n_machines)
+        )
+    )
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """One scheduled activity.
+
+    Attributes:
+        machine: executing machine name.
+        kind: ``"transfer"``, ``"partial"``, ``"merge"`` or ``"broadcast"``.
+        start: start time (s).
+        end: end time (s).
+        detail: free-form description.
+    """
+
+    machine: str
+    kind: str
+    start: float
+    end: float
+    detail: str = ""
+
+
+@dataclass
+class SimReport:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        makespan_seconds: end-to-end simulated time.
+        compute_seconds: per-machine busy compute time.
+        network_bytes: total bytes moved.
+        events: the full schedule.
+    """
+
+    makespan_seconds: float
+    compute_seconds: dict[str, float] = field(default_factory=dict)
+    network_bytes: float = 0.0
+    events: list[SimEvent] = field(default_factory=list)
+
+    def utilization(self) -> dict[str, float]:
+        """Busy fraction per machine over the makespan."""
+        if self.makespan_seconds <= 0:
+            return {name: 0.0 for name in self.compute_seconds}
+        return {
+            name: busy / self.makespan_seconds
+            for name, busy in self.compute_seconds.items()
+        }
+
+
+def calibrate_ops_per_second(
+    n_points: int = 20_000, k: int = 40, dim: int = 6, seed: int = 0
+) -> float:
+    """Measure this host's real distance-computation throughput.
+
+    Runs a few real Lloyd iterations and divides the distance-op count by
+    the measured time, so simulated machines can be anchored to the host
+    the reproduction actually ran on.
+    """
+    from repro.core.kmeans import lloyd
+    from repro.core.seeding import random_seeds
+
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n_points, dim))
+    seeds = random_seeds(points, k, rng)
+    start = time.perf_counter()
+    result = lloyd(points, seeds, max_iter=20)
+    elapsed = time.perf_counter() - start
+    ops = result.iterations * n_points * k
+    return ops / max(elapsed, 1e-9)
+
+
+class DistributedSimulation:
+    """Schedules clustering queries onto a simulated cluster.
+
+    Args:
+        cluster: the hardware description.
+    """
+
+    def __init__(self, cluster: ClusterSpec) -> None:
+        self.cluster = cluster
+
+    # -- partial/merge ---------------------------------------------------------
+
+    def simulate_partial_merge(
+        self,
+        n_points: int,
+        dim: int,
+        k: int,
+        n_chunks: int,
+        restarts: int,
+        partial_iterations: float,
+        merge_iterations: float = 20.0,
+    ) -> SimReport:
+        """Simulate the partial/merge query on the cluster.
+
+        Chunks are placed greedily on the machine that becomes available
+        earliest (accounting for the chunk's transfer from the storage
+        node); the merge waits for every machine's centroids.
+
+        Args:
+            n_points: cell size.
+            dim: attribute count.
+            k: centroids.
+            n_chunks: partitions.
+            restarts: seed restarts per partition.
+            partial_iterations: mean Lloyd iterations per partial restart
+                (measure with the convergence study for fidelity).
+            merge_iterations: Lloyd iterations of the merge step.
+
+        Returns:
+            A :class:`SimReport`.
+        """
+        if n_chunks < 1:
+            raise ValueError("n_chunks must be >= 1")
+        network = self.cluster.network
+        machines = self.cluster.machines
+        chunk_points = n_points / n_chunks
+        chunk_bytes = chunk_points * dim * _FLOAT_BYTES
+        centroid_bytes = k * (dim + 1) * _FLOAT_BYTES
+        chunk_ops = restarts * partial_iterations * k * chunk_points
+
+        available = {m.name: 0.0 for m in machines}
+        busy = {m.name: 0.0 for m in machines}
+        events: list[SimEvent] = []
+        network_bytes = 0.0
+        storage = machines[0].name
+        centroid_arrivals: list[float] = []
+
+        for chunk_index in range(n_chunks):
+            target = min(machines, key=lambda m: available[m.name])
+            start = available[target.name]
+            # Ship the chunk unless it is already local to storage.
+            if target.name != storage:
+                transfer = network.transfer_seconds(chunk_bytes)
+                network_bytes += chunk_bytes
+                events.append(
+                    SimEvent(
+                        machine=target.name,
+                        kind="transfer",
+                        start=start,
+                        end=start + transfer,
+                        detail=f"chunk{chunk_index} in",
+                    )
+                )
+                start += transfer
+            compute = chunk_ops / target.ops_per_second
+            events.append(
+                SimEvent(
+                    machine=target.name,
+                    kind="partial",
+                    start=start,
+                    end=start + compute,
+                    detail=f"chunk{chunk_index}",
+                )
+            )
+            busy[target.name] += compute
+            done = start + compute
+            # Ship weighted centroids to the coordinator.
+            if target.name != storage:
+                transfer = network.transfer_seconds(centroid_bytes)
+                network_bytes += centroid_bytes
+                done += transfer
+            available[target.name] = start + compute
+            centroid_arrivals.append(done)
+
+        merge_start = max(centroid_arrivals)
+        merge_ops = merge_iterations * k * (k * n_chunks)
+        merge_time = merge_ops / machines[0].ops_per_second
+        events.append(
+            SimEvent(
+                machine=storage,
+                kind="merge",
+                start=merge_start,
+                end=merge_start + merge_time,
+                detail=f"{k * n_chunks} weighted centroids",
+            )
+        )
+        busy[storage] += merge_time
+
+        return SimReport(
+            makespan_seconds=merge_start + merge_time,
+            compute_seconds=busy,
+            network_bytes=network_bytes,
+            events=events,
+        )
+
+    # -- Method C ---------------------------------------------------------------
+
+    def simulate_method_c(
+        self,
+        n_points: int,
+        dim: int,
+        k: int,
+        iterations: int,
+        migration_fraction: float = 0.05,
+    ) -> SimReport:
+        """Simulate Figure 2's Method C on the same cluster.
+
+        Every iteration: each slave computes distances for its share of
+        points against all k centroids, broadcasts its means to every
+        other slave, and ships migrating points.
+
+        Args:
+            n_points: cell size (split evenly across slaves).
+            dim: attribute count.
+            k: centroids.
+            iterations: Lloyd iterations until convergence.
+            migration_fraction: fraction of points changing slaves per
+                iteration (measured ~2-7% by
+                ``method_c_distance_partitioned``).
+
+        Returns:
+            A :class:`SimReport`.
+        """
+        if iterations < 1:
+            raise ValueError("iterations must be >= 1")
+        if not 0.0 <= migration_fraction <= 1.0:
+            raise ValueError("migration_fraction must be in [0, 1]")
+        network = self.cluster.network
+        machines = self.cluster.machines
+        n_slaves = len(machines)
+        share = n_points / n_slaves
+        point_bytes = dim * _FLOAT_BYTES
+        mean_bytes = k * (dim + 1) * _FLOAT_BYTES
+
+        clock = 0.0
+        busy = {m.name: 0.0 for m in machines}
+        events: list[SimEvent] = []
+        network_bytes = 0.0
+
+        # Initial distribution of points to slaves.
+        for machine in machines[1:]:
+            transfer = network.transfer_seconds(share * point_bytes)
+            network_bytes += share * point_bytes
+            events.append(
+                SimEvent(
+                    machine=machine.name,
+                    kind="transfer",
+                    start=clock,
+                    end=clock + transfer,
+                    detail="initial shard",
+                )
+            )
+        clock += network.transfer_seconds(share * point_bytes) if n_slaves > 1 else 0.0
+
+        for iteration in range(iterations):
+            # Compute phase: slaves run in parallel, barrier at the end.
+            compute_times = []
+            for machine in machines:
+                compute = share * k / machine.ops_per_second
+                busy[machine.name] += compute
+                events.append(
+                    SimEvent(
+                        machine=machine.name,
+                        kind="partial",
+                        start=clock,
+                        end=clock + compute,
+                        detail=f"iter{iteration} assign+mean",
+                    )
+                )
+                compute_times.append(compute)
+            clock += max(compute_times)
+            # Broadcast phase: every slave sends its means to all others.
+            if n_slaves > 1:
+                broadcast = network.transfer_seconds(mean_bytes) * (n_slaves - 1)
+                network_bytes += mean_bytes * n_slaves * (n_slaves - 1)
+                events.append(
+                    SimEvent(
+                        machine="switch",
+                        kind="broadcast",
+                        start=clock,
+                        end=clock + broadcast,
+                        detail=f"iter{iteration} means",
+                    )
+                )
+                clock += broadcast
+                # Migration phase.
+                migrating = n_points * migration_fraction
+                if migrating >= 1:
+                    transfer = network.transfer_seconds(
+                        migrating * point_bytes / n_slaves
+                    )
+                    network_bytes += migrating * point_bytes
+                    clock += transfer
+
+        return SimReport(
+            makespan_seconds=clock,
+            compute_seconds=busy,
+            network_bytes=network_bytes,
+            events=events,
+        )

@@ -1,0 +1,49 @@
+"""Exception hierarchy for the stream engine."""
+
+from __future__ import annotations
+
+__all__ = [
+    "StreamError",
+    "GraphValidationError",
+    "QueueClosedError",
+    "OperatorError",
+    "ExecutionError",
+]
+
+
+class StreamError(Exception):
+    """Base class for all stream-engine errors."""
+
+
+class GraphValidationError(StreamError):
+    """A logical dataflow graph is malformed (cycle, dangling edge, ...)."""
+
+
+class QueueClosedError(StreamError):
+    """A producer attempted to put into a queue whose consumers are gone."""
+
+
+class OperatorError(StreamError):
+    """An operator raised during processing; wraps the original cause.
+
+    Attributes:
+        operator_name: name of the failing physical operator instance.
+    """
+
+    def __init__(self, operator_name: str, cause: BaseException) -> None:
+        super().__init__(f"operator {operator_name!r} failed: {cause!r}")
+        self.operator_name = operator_name
+        self.__cause__ = cause
+
+
+class ExecutionError(StreamError):
+    """Execution of a physical plan failed; carries all operator errors.
+
+    Attributes:
+        failures: the individual :class:`OperatorError` instances.
+    """
+
+    def __init__(self, failures: list[OperatorError]) -> None:
+        names = ", ".join(f.operator_name for f in failures)
+        super().__init__(f"{len(failures)} operator(s) failed: {names}")
+        self.failures = failures

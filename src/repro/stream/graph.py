@@ -1,0 +1,180 @@
+"""Logical dataflow graphs.
+
+A dataflow query is "specified in the form of a dataflow diagram ... each
+leaf node represents a collection of logical data objects, and non-leaf
+nodes represent logical operations" (paper Section 3.4).  Our graphs are
+converging DAGs: any number of sources, fan-in allowed (several producers
+feed one consumer's queue), exactly one sink at the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stream.errors import GraphValidationError
+from repro.stream.operators import Operator, Sink, Source, Transform
+
+__all__ = ["DataflowGraph"]
+
+
+@dataclass
+class _Node:
+    """Internal record for one logical operator."""
+
+    operator: Operator
+    downstream: str | None = None
+    upstream: list[str] = field(default_factory=list)
+    #: Planner hint: relative CPU cost of this operator (1.0 = average).
+    cost_hint: float = 1.0
+
+
+class DataflowGraph:
+    """A logical operator tree plus planner hints.
+
+    Example:
+        >>> from repro.stream.graph import DataflowGraph
+        >>> from repro.stream.operators import FunctionTransform
+        >>> g = DataflowGraph()            # doctest: +SKIP
+        >>> g.add(my_source)               # doctest: +SKIP
+        >>> g.add(my_transform, cost_hint=8.0)  # doctest: +SKIP
+        >>> g.add(my_sink)                 # doctest: +SKIP
+        >>> g.connect("source", "transform")    # doctest: +SKIP
+        >>> g.connect("transform", "sink")      # doctest: +SKIP
+    """
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, _Node] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add(self, operator: Operator, cost_hint: float = 1.0) -> None:
+        """Register a logical operator.
+
+        Args:
+            operator: the operator; its ``name`` must be unique.
+            cost_hint: relative CPU cost used by the planner to decide
+                which operators deserve clones (the paper singles out
+                partial k-means as "by far the most expensive").
+        """
+        if operator.name in self._nodes:
+            raise GraphValidationError(f"duplicate operator name {operator.name!r}")
+        if cost_hint <= 0:
+            raise GraphValidationError("cost_hint must be positive")
+        self._nodes[operator.name] = _Node(operator=operator, cost_hint=cost_hint)
+
+    def connect(self, producer: str, consumer: str) -> None:
+        """Add an edge: ``producer``'s output feeds ``consumer``'s input."""
+        for name in (producer, consumer):
+            if name not in self._nodes:
+                raise GraphValidationError(f"unknown operator {name!r}")
+        if producer == consumer:
+            raise GraphValidationError(f"self-loop on {producer!r}")
+        node = self._nodes[producer]
+        if node.downstream is not None:
+            raise GraphValidationError(
+                f"operator {producer!r} already has a consumer "
+                f"({node.downstream!r}); fan-out is not supported"
+            )
+        if isinstance(node.operator, Sink):
+            raise GraphValidationError(f"sink {producer!r} cannot produce")
+        if isinstance(self._nodes[consumer].operator, Source):
+            raise GraphValidationError(f"source {consumer!r} cannot consume")
+        node.downstream = consumer
+        self._nodes[consumer].upstream.append(producer)
+
+    # -- inspection -----------------------------------------------------------
+
+    def operator(self, name: str) -> Operator:
+        """Look up a logical operator by name."""
+        return self._nodes[name].operator
+
+    def cost_hint(self, name: str) -> float:
+        """Planner cost hint of an operator."""
+        return self._nodes[name].cost_hint
+
+    def downstream_of(self, name: str) -> str | None:
+        """Consumer of ``name``'s output, or ``None`` for the sink."""
+        return self._nodes[name].downstream
+
+    def upstream_of(self, name: str) -> list[str]:
+        """Producers feeding ``name``'s input queue."""
+        return list(self._nodes[name].upstream)
+
+    def names(self) -> list[str]:
+        """All logical operator names, in insertion order."""
+        return list(self._nodes)
+
+    def sources(self) -> list[str]:
+        """Names of all source operators."""
+        return [
+            name
+            for name, node in self._nodes.items()
+            if isinstance(node.operator, Source)
+        ]
+
+    def sink(self) -> str:
+        """Name of the unique sink; validates as a side effect."""
+        self.validate()
+        return next(
+            name
+            for name, node in self._nodes.items()
+            if isinstance(node.operator, Sink)
+        )
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the graph is a converging DAG with one sink.
+
+        Raises:
+            GraphValidationError: describing the first defect found.
+        """
+        if not self._nodes:
+            raise GraphValidationError("graph is empty")
+        sinks = [
+            name
+            for name, node in self._nodes.items()
+            if isinstance(node.operator, Sink)
+        ]
+        if len(sinks) != 1:
+            raise GraphValidationError(
+                f"graph must have exactly one sink, found {len(sinks)}"
+            )
+        sources = self.sources()
+        if not sources:
+            raise GraphValidationError("graph has no source")
+        for name, node in self._nodes.items():
+            is_source = isinstance(node.operator, Source)
+            is_sink = isinstance(node.operator, Sink)
+            if not is_source and not node.upstream:
+                raise GraphValidationError(f"operator {name!r} has no producer")
+            if not is_sink and node.downstream is None:
+                raise GraphValidationError(f"operator {name!r} has no consumer")
+            if isinstance(node.operator, Transform) and is_source:
+                raise GraphValidationError(
+                    f"operator {name!r} is both Source and Transform"
+                )
+        self._check_acyclic()
+        self._check_reaches_sink(sinks[0])
+
+    def _check_acyclic(self) -> None:
+        seen: set[str] = set()
+        for start in self._nodes:
+            name: str | None = start
+            path: set[str] = set()
+            while name is not None and name not in seen:
+                if name in path:
+                    raise GraphValidationError(f"cycle involving {name!r}")
+                path.add(name)
+                name = self._nodes[name].downstream
+            seen.update(path)
+
+    def _check_reaches_sink(self, sink_name: str) -> None:
+        for start in self._nodes:
+            name: str | None = start
+            while name is not None and name != sink_name:
+                name = self._nodes[name].downstream
+            if name != sink_name:
+                raise GraphValidationError(
+                    f"operator {start!r} does not reach the sink"
+                )

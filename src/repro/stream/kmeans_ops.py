@@ -1,0 +1,348 @@
+"""Partial/merge k-means as stream operators.
+
+This module wires the :mod:`repro.core` kernels into the stream engine the
+way the paper's prototype wired them into Conquest:
+
+* :class:`GridCellChunkSource` — the scan operator; emits each grid cell's
+  points as randomly assigned, memory-sized :class:`DataChunk` items.
+* :class:`PartialKMeansOperator` — cloneable transform; clusters one chunk
+  into a :class:`CentroidMessage` of weighted centroids.
+* :class:`MergeKMeansSink` — the consumer; pools each cell's weighted
+  centroids and runs the collective merge k-means, finalising a cell as
+  soon as its last partition arrives.
+
+:func:`run_partial_merge_stream` assembles the graph, plans it against a
+resource envelope (which decides partial clone counts) and executes it.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.kmeans import DEFAULT_MAX_ITER
+from repro.core.merge import merge_kmeans
+from repro.core.model import ClusterModel, as_points
+from repro.core.partial import partial_kmeans
+from repro.core.pipeline import split_into_chunks
+from repro.core.quality import mse as evaluate_mse
+from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.graph import DataflowGraph
+from repro.stream.items import CentroidMessage, DataChunk, Watermark
+from repro.stream.operators import Sink, Source, Transform
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+
+__all__ = [
+    "GridCellChunkSource",
+    "PartialKMeansOperator",
+    "MergeKMeansSink",
+    "build_partial_merge_graph",
+    "run_partial_merge_stream",
+]
+
+
+class GridCellChunkSource(Source):
+    """Scan operator: streams grid cells as random equal-sized chunks.
+
+    Models the paper's scan step: all points of a cell "arrive
+    sequentially, and in random order"; the source slices them into the
+    number of partitions dictated by the memory budget (or an explicit
+    ``n_chunks``).
+
+    Args:
+        cells: mapping from cell id to its ``(n, d)`` point array.
+        n_chunks: fixed partition count per cell; ``None`` derives it from
+            ``resources`` (the adaptive behaviour the paper argues for).
+        resources: memory envelope used when ``n_chunks`` is ``None``.
+        seed: RNG seed controlling the random chunk assignment.
+        name: operator name.
+    """
+
+    def __init__(
+        self,
+        cells: Mapping[str, np.ndarray],
+        n_chunks: int | None = None,
+        resources: ResourceManager | None = None,
+        seed: int | None = None,
+        name: str = "scan",
+    ) -> None:
+        super().__init__(name)
+        if not cells:
+            raise ValueError("cells mapping must not be empty")
+        if n_chunks is None and resources is None:
+            raise ValueError("provide either n_chunks or resources")
+        self._cells = {cell: as_points(points) for cell, points in cells.items()}
+        self._n_chunks = n_chunks
+        self._resources = resources
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self) -> Iterator[DataChunk]:
+        for cell_id, points in self._cells.items():
+            if self._n_chunks is not None:
+                chunks_wanted = self._n_chunks
+            else:
+                assert self._resources is not None
+                chunks_wanted = self._resources.partitions_for(
+                    points.shape[0], points.shape[1]
+                )
+            chunks_wanted = min(chunks_wanted, points.shape[0])
+            chunks = split_into_chunks(points, chunks_wanted, self._rng)
+            for index, chunk in enumerate(chunks):
+                yield DataChunk(
+                    cell_id=cell_id,
+                    partition=index,
+                    points=chunk,
+                    n_partitions=len(chunks),
+                )
+
+
+class PartialKMeansOperator(Transform):
+    """Cloneable transform running partial k-means on each chunk.
+
+    Clones draw independent child seeds from a shared
+    :class:`numpy.random.SeedSequence`, so parallel plans remain
+    reproducible for a fixed seed regardless of clone count.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        restarts: int = 10,
+        seeding: str = "random",
+        criterion: ConvergenceCriterion | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+        seed_sequence: np.random.SeedSequence | None = None,
+        name: str = "partial",
+    ) -> None:
+        super().__init__(name)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.restarts = restarts
+        self.seeding = seeding
+        self.criterion = criterion
+        self.max_iter = max_iter
+        self._seed_sequence = (
+            seed_sequence if seed_sequence is not None else np.random.SeedSequence()
+        )
+        self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
+
+    def clone(self) -> "PartialKMeansOperator":
+        return PartialKMeansOperator(
+            k=self.k,
+            restarts=self.restarts,
+            seeding=self.seeding,
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+            seed_sequence=self._seed_sequence.spawn(1)[0],
+            name=self.name,
+        )
+
+    def process(
+        self, item: DataChunk | Watermark
+    ) -> Iterator[CentroidMessage | Watermark]:
+        if isinstance(item, Watermark):
+            # Control messages pass through untouched; the merge sink
+            # correlates them with the per-cell message count, so clone
+            # reordering cannot finalise a cell early.
+            yield item
+            return
+        result = partial_kmeans(
+            item.points,
+            self.k,
+            self.restarts,
+            self._rng,
+            source=f"{item.cell_id}/P{item.partition}",
+            seeding=self.seeding,
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+        )
+        yield CentroidMessage(
+            cell_id=item.cell_id,
+            partition=item.partition,
+            summary=result.summary,
+            n_partitions=item.n_partitions,
+            partial_seconds=result.seconds,
+            partial_iterations=result.iterations,
+        )
+
+
+class MergeKMeansSink(Sink):
+    """Terminal consumer: collective merge k-means per grid cell.
+
+    A cell is finalised eagerly once all of its partitions have arrived
+    (count known from the messages); any cells still pending at end of
+    stream are finalised in :meth:`result`.
+
+    Args:
+        k: centroids in each final cell model.
+        evaluate_on: optional mapping of cell id to raw points; when given,
+            each final model's MSE is recomputed against the raw data so
+            results are directly comparable with the serial baseline.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        criterion: ConvergenceCriterion | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+        evaluate_on: Mapping[str, np.ndarray] | None = None,
+        name: str = "merge",
+    ) -> None:
+        super().__init__(name)
+        self.k = k
+        self.criterion = criterion
+        self.max_iter = max_iter
+        self._evaluate_on = dict(evaluate_on or {})
+        self._pending: dict[str, list[CentroidMessage]] = {}
+        self._expected: dict[str, int] = {}
+        self._models: dict[str, ClusterModel] = {}
+
+    def consume(self, item: CentroidMessage | Watermark) -> None:
+        if isinstance(item, Watermark):
+            # A source that could not pre-count partitions announces the
+            # final count here.  Finalisation still waits for every
+            # partition's message, so watermarks overtaking in-flight
+            # chunks (possible with cloned partial operators) are safe.
+            self._expected[item.cell_id] = item.n_partitions
+            self._maybe_finalize(item.cell_id)
+            return
+        bucket = self._pending.setdefault(item.cell_id, [])
+        bucket.append(item)
+        if item.n_partitions:
+            self._expected[item.cell_id] = item.n_partitions
+        self._maybe_finalize(item.cell_id)
+
+    def _maybe_finalize(self, cell_id: str) -> None:
+        expected = self._expected.get(cell_id)
+        bucket = self._pending.get(cell_id)
+        if expected and bucket and len(bucket) == expected:
+            self._finalize(cell_id)
+
+    def result(self) -> dict[str, ClusterModel]:
+        for cell_id in list(self._pending):
+            self._finalize(cell_id)
+        return dict(self._models)
+
+    def _finalize(self, cell_id: str) -> None:
+        messages = self._pending.pop(cell_id, [])
+        if not messages:
+            return
+        messages.sort(key=lambda m: m.partition)
+        start = time.perf_counter()
+        merged = merge_kmeans(
+            [m.summary for m in messages],
+            self.k,
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+        )
+        total = time.perf_counter() - start
+        raw = self._evaluate_on.get(cell_id)
+        final_mse = (
+            evaluate_mse(raw, merged.model.centroids) if raw is not None else merged.mse
+        )
+        partial_seconds = sum(m.partial_seconds for m in messages)
+        self._models[cell_id] = ClusterModel(
+            centroids=merged.model.centroids,
+            weights=merged.model.weights,
+            mse=final_mse,
+            method="partial/merge[stream]",
+            partitions=len(messages),
+            partial_seconds=partial_seconds,
+            merge_seconds=merged.seconds,
+            total_seconds=partial_seconds + total,
+            extra={
+                "merge_iterations": merged.iterations,
+                "partial_iterations": [m.partial_iterations for m in messages],
+            },
+        )
+
+
+def build_partial_merge_graph(
+    cells: Mapping[str, np.ndarray],
+    k: int,
+    restarts: int = 10,
+    n_chunks: int | None = None,
+    resources: ResourceManager | None = None,
+    seed: int | None = None,
+    evaluate_against_raw: bool = True,
+    criterion: ConvergenceCriterion | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> DataflowGraph:
+    """Assemble the scan → partial → merge dataflow for ``cells``."""
+    graph = DataflowGraph()
+    source = GridCellChunkSource(
+        cells, n_chunks=n_chunks, resources=resources, seed=seed
+    )
+    seed_sequence = np.random.SeedSequence(seed) if seed is not None else None
+    partial = PartialKMeansOperator(
+        k=k,
+        restarts=restarts,
+        criterion=criterion,
+        max_iter=max_iter,
+        seed_sequence=seed_sequence,
+    )
+    merge = MergeKMeansSink(
+        k=k,
+        criterion=criterion,
+        max_iter=max_iter,
+        evaluate_on=cells if evaluate_against_raw else None,
+    )
+    graph.add(source, cost_hint=1.0)
+    # The paper: partial k-means "is by far the most expensive computation".
+    graph.add(partial, cost_hint=16.0)
+    graph.add(merge, cost_hint=1.0)
+    graph.connect("scan", "partial")
+    graph.connect("partial", "merge")
+    return graph
+
+
+def run_partial_merge_stream(
+    cells: Mapping[str, np.ndarray],
+    k: int,
+    restarts: int = 10,
+    n_chunks: int | None = None,
+    resources: ResourceManager | None = None,
+    partial_clones: int | None = None,
+    seed: int | None = None,
+    criterion: ConvergenceCriterion | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+) -> tuple[dict[str, ClusterModel], ExecutionResult]:
+    """Cluster every grid cell with the streamed partial/merge pipeline.
+
+    Args:
+        cells: mapping from cell id to its points.
+        k: centroids per cell.
+        restarts: random-seed restarts per partition.
+        n_chunks: fixed partitions per cell; ``None`` derives them from
+            the memory budget.
+        resources: resource envelope for planning (default host envelope).
+        partial_clones: pin the number of partial-operator clones (the
+            speed-up experiment's knob); ``None`` lets the planner decide.
+        seed: RNG seed for chunking and seeding.
+        criterion: convergence criterion for all k-means stages.
+        max_iter: Lloyd iteration cap for all stages.
+
+    Returns:
+        ``(models, execution_result)`` where ``models`` maps cell id to
+        its final :class:`ClusterModel`.
+    """
+    envelope = resources if resources is not None else ResourceManager()
+    graph = build_partial_merge_graph(
+        cells,
+        k,
+        restarts=restarts,
+        n_chunks=n_chunks,
+        resources=envelope,
+        seed=seed,
+        criterion=criterion,
+        max_iter=max_iter,
+    )
+    overrides = {"partial": partial_clones} if partial_clones else None
+    plan = Planner(envelope).plan(graph, clone_overrides=overrides)
+    outcome = Executor().run(plan)
+    return outcome.value, outcome

@@ -1,0 +1,102 @@
+"""Per-operator and per-plan instrumentation.
+
+The planner's cloning decisions and the speed-up experiments both need to
+know where time is spent; every physical operator records items in/out and
+busy time into an :class:`OperatorMetrics`, and the executor aggregates
+them into an :class:`ExecutionMetrics` alongside queue statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.stream.queues import QueueStats
+
+__all__ = ["OperatorMetrics", "ExecutionMetrics", "stopwatch"]
+
+
+@dataclass
+class OperatorMetrics:
+    """Counters for one physical operator instance.
+
+    Attributes:
+        name: physical instance name (e.g. ``"partial#2"``).
+        items_in: items consumed from the input queue.
+        items_out: items produced to the output queue.
+        busy_seconds: time spent inside ``process``/``generate`` calls.
+        started_at: perf-counter timestamp of thread start.
+        finished_at: perf-counter timestamp of thread completion.
+    """
+
+    name: str
+    items_in: int = 0
+    items_out: int = 0
+    busy_seconds: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+
+    @property
+    def wall_seconds(self) -> float:
+        """Thread lifetime (0 until the operator finishes)."""
+        if self.finished_at <= self.started_at:
+            return 0.0
+        return self.finished_at - self.started_at
+
+    @property
+    def idle_seconds(self) -> float:
+        """Lifetime not spent processing (queue waits, scheduling)."""
+        return max(0.0, self.wall_seconds - self.busy_seconds)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of lifetime spent busy, in ``[0, 1]``."""
+        wall = self.wall_seconds
+        if wall <= 0.0:
+            return 0.0
+        return min(1.0, self.busy_seconds / wall)
+
+
+@dataclass
+class ExecutionMetrics:
+    """Aggregated metrics of one plan execution.
+
+    Attributes:
+        wall_seconds: end-to-end execution time.
+        operators: metrics per physical operator instance.
+        queues: statistics per queue, keyed by queue name.
+    """
+
+    wall_seconds: float = 0.0
+    operators: list[OperatorMetrics] = field(default_factory=list)
+    queues: dict[str, QueueStats] = field(default_factory=dict)
+
+    def busy_seconds_for(self, logical_name: str) -> float:
+        """Total busy time across all clones of a logical operator."""
+        prefix = f"{logical_name}#"
+        return sum(
+            op.busy_seconds
+            for op in self.operators
+            if op.name == logical_name or op.name.startswith(prefix)
+        )
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-operator summary, for CLI/example output."""
+        lines = [f"total wall time: {self.wall_seconds:.3f}s"]
+        for op in sorted(self.operators, key=lambda o: o.name):
+            lines.append(
+                f"  {op.name:<20} in={op.items_in:<6} out={op.items_out:<6} "
+                f"busy={op.busy_seconds:.3f}s util={op.utilization:.0%}"
+            )
+        return lines
+
+
+@contextmanager
+def stopwatch(metrics: OperatorMetrics):
+    """Accumulate the duration of the guarded block into ``busy_seconds``."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        metrics.busy_seconds += time.perf_counter() - start

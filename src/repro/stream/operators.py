@@ -1,0 +1,124 @@
+"""Operator model: sources, transforms and sinks.
+
+An operator "consumes one or several data items from an incoming data
+stream, processes the data, and produces a stream of output data items"
+(paper Section 1.2).  User code subclasses one of three bases:
+
+* :class:`Source` — produces items from outside the stream (files,
+  generators); has no input queue.
+* :class:`Transform` — maps each input item to zero or more output items,
+  optionally holding bounded state; may flush remaining state at end of
+  stream.
+* :class:`Sink` — terminal consumer; accumulates a result.
+
+Operators declare whether they are safe to clone (``parallelizable``);
+stateful-per-stream operators like a collective merge are not, while pure
+per-item operators like partial k-means are.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Operator", "Source", "Transform", "Sink", "FunctionTransform"]
+
+
+class Operator:
+    """Common base for all logical operators.
+
+    Attributes:
+        name: logical name; physical clones are suffixed ``#i``.
+        parallelizable: whether the planner may clone this operator.
+    """
+
+    #: Overridden by subclasses that must run as a single instance.
+    parallelizable: bool = True
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("operator name must be non-empty")
+        self.name = name
+
+    def clone(self) -> "Operator":
+        """Return an independent instance for parallel execution.
+
+        The default is only correct for stateless operators; stateful
+        parallelizable operators must override this to avoid shared state.
+        """
+        if not self.parallelizable:
+            raise TypeError(f"operator {self.name!r} is not parallelizable")
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Source(Operator):
+    """Root operator producing the input stream."""
+
+    #: Sources own external resources (file cursors); never cloned.
+    parallelizable = False
+
+    def generate(self) -> Iterator[Any]:
+        """Yield the source's items; called once per execution."""
+        raise NotImplementedError
+
+
+class Transform(Operator):
+    """Mid-stream operator: items in, items out.
+
+    Attributes:
+        max_retries: how many times the executor re-invokes ``process``
+            on the same item after an exception before failing the plan.
+            0 (default) fails fast; transforms wrapping flaky external
+            resources (network reads, remote services) set it higher.
+        retryable_errors: exception types considered transient; others
+            fail immediately regardless of ``max_retries``.
+    """
+
+    max_retries: int = 0
+    retryable_errors: tuple[type[BaseException], ...] = (Exception,)
+
+    def process(self, item: Any) -> Iterable[Any]:
+        """Handle one input item; return (possibly empty) output items."""
+        raise NotImplementedError
+
+    def finish(self) -> Iterable[Any]:
+        """Flush buffered state at end of stream (default: nothing)."""
+        return ()
+
+
+class Sink(Operator):
+    """Terminal operator accumulating a result.
+
+    Sinks run as a single instance so result assembly needs no locking.
+    """
+
+    parallelizable = False
+
+    def consume(self, item: Any) -> None:
+        """Handle one input item."""
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """Return the accumulated result; called after the stream ends."""
+        raise NotImplementedError
+
+
+class FunctionTransform(Transform):
+    """Adapter turning a plain function into a stateless transform.
+
+    Args:
+        name: operator name.
+        fn: callable mapping one item to an iterable of output items.
+    """
+
+    def __init__(self, name: str, fn) -> None:
+        super().__init__(name)
+        self._fn = fn
+
+    def process(self, item: Any) -> Iterable[Any]:
+        return self._fn(item)
+
+    def clone(self) -> "FunctionTransform":
+        return FunctionTransform(self.name, self._fn)

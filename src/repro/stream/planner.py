@@ -1,0 +1,162 @@
+"""Query planner: logical dataflow graph → physical execution plan.
+
+Mirrors Conquest's optimizer at the scale this library needs: the planner
+chooses how many *clones* of each parallelizable operator to run, given a
+:class:`~repro.stream.scheduler.ResourceManager`.  Clone slots are awarded
+proportionally to the operators' cost hints — in the partial/merge query
+the partial k-means operator carries nearly all the cost, so it receives
+nearly all the clones, which is precisely the paper's "Option 1"
+parallelization (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.stream.graph import DataflowGraph
+from repro.stream.operators import Operator, Sink, Transform
+from repro.stream.queues import SmartQueue
+from repro.stream.scheduler import ResourceManager
+
+__all__ = ["PhysicalOperator", "PhysicalPlan", "Planner"]
+
+#: Input queue capacity; small enough to exert backpressure, large enough
+#: to keep clones fed.
+_QUEUE_CAPACITY = 64
+
+
+@dataclass(frozen=True)
+class PhysicalOperator:
+    """One schedulable operator instance.
+
+    Attributes:
+        name: physical name (``logical`` or ``logical#i`` for clones).
+        logical_name: the logical operator this instance realises.
+        operator: the operator instance to run.
+        input_queue: queue to consume from (``None`` for sources).
+        output_queue: queue to produce into (``None`` for the sink).
+    """
+
+    name: str
+    logical_name: str
+    operator: Operator
+    input_queue: SmartQueue | None
+    output_queue: SmartQueue | None
+
+
+@dataclass
+class PhysicalPlan:
+    """A fully wired set of physical operators ready for execution.
+
+    Attributes:
+        operators: all physical instances, topologically ordered by stage.
+        queues: input queue per consuming logical operator.
+        clone_counts: physical instances per logical operator.
+    """
+
+    operators: list[PhysicalOperator] = field(default_factory=list)
+    queues: dict[str, SmartQueue] = field(default_factory=dict)
+    clone_counts: dict[str, int] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        """One-line-per-operator plan description (for CLI/examples)."""
+        lines = ["physical plan:"]
+        for logical, count in self.clone_counts.items():
+            lines.append(f"  {logical}: {count} instance(s)")
+        return "\n".join(lines)
+
+
+class Planner:
+    """Compiles logical graphs into physical plans.
+
+    Args:
+        resources: the resource envelope; defaults to host CPU count and
+            the default memory budget.
+    """
+
+    def __init__(self, resources: ResourceManager | None = None) -> None:
+        self.resources = resources if resources is not None else ResourceManager()
+
+    def plan(
+        self,
+        graph: DataflowGraph,
+        clone_overrides: dict[str, int] | None = None,
+    ) -> PhysicalPlan:
+        """Compile ``graph`` into a :class:`PhysicalPlan`.
+
+        Args:
+            graph: validated logical dataflow graph.
+            clone_overrides: explicit clone counts per logical operator
+                (used by the speed-up experiments to pin parallelism);
+                values are clamped to 1 for non-parallelizable operators.
+
+        Returns:
+            A wired physical plan.
+        """
+        graph.validate()
+        overrides = dict(clone_overrides or {})
+        clone_counts = self._decide_clones(graph, overrides)
+
+        plan = PhysicalPlan(clone_counts=clone_counts)
+        # One input queue per consuming logical operator.
+        for name in graph.names():
+            operator = graph.operator(name)
+            if isinstance(operator, (Transform, Sink)):
+                plan.queues[name] = SmartQueue(
+                    name=f"q->{name}", capacity=_QUEUE_CAPACITY
+                )
+
+        for name in graph.names():
+            operator = graph.operator(name)
+            count = clone_counts[name]
+            downstream = graph.downstream_of(name)
+            output_queue = plan.queues.get(downstream) if downstream else None
+            input_queue = plan.queues.get(name)
+            for index in range(count):
+                instance = operator if count == 1 else operator.clone()
+                physical_name = name if count == 1 else f"{name}#{index}"
+                if output_queue is not None:
+                    output_queue.register_producer()
+                plan.operators.append(
+                    PhysicalOperator(
+                        name=physical_name,
+                        logical_name=name,
+                        operator=instance,
+                        input_queue=input_queue,
+                        output_queue=output_queue,
+                    )
+                )
+        return plan
+
+    def _decide_clones(
+        self, graph: DataflowGraph, overrides: dict[str, int]
+    ) -> dict[str, int]:
+        """Choose instance counts: overrides win, then cost-weighted split."""
+        counts: dict[str, int] = {}
+        cloneable: list[str] = []
+        for name in graph.names():
+            operator = graph.operator(name)
+            if name in overrides:
+                requested = max(1, int(overrides[name]))
+                counts[name] = 1 if not operator.parallelizable else requested
+            elif operator.parallelizable and isinstance(operator, Transform):
+                cloneable.append(name)
+            else:
+                counts[name] = 1
+
+        if not cloneable:
+            return counts
+
+        singletons = sum(counts.values())
+        budget = self.resources.clones_available(reserved=singletons)
+        total_cost = sum(graph.cost_hint(name) for name in cloneable)
+        remaining = budget
+        for position, name in enumerate(cloneable):
+            if position == len(cloneable) - 1:
+                share = remaining
+            else:
+                share = max(1, round(budget * graph.cost_hint(name) / total_cost))
+                share = min(share, remaining - (len(cloneable) - position - 1))
+            counts[name] = max(1, share)
+            remaining -= counts[name]
+        return counts

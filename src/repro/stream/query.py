@@ -1,0 +1,300 @@
+"""Declarative query builder over the stream engine.
+
+Conquest exposes clustering as a *query*: "queries are specified as a
+logical operator tree, the query optimizer creates a query execution
+plan including the physical operator implementations and parallelization
+of the operators" (paper Section 4).  :class:`Query` is that interface:
+
+.. code-block:: python
+
+    from repro.stream.query import Query
+    result = (
+        Query.scan_buckets("/data/buckets")
+        .partition_by_memory()
+        .cluster(k=40, restarts=10)
+        .merge(k=40)
+        .explain()   # optional
+        .execute()
+    )
+
+Each builder call appends a logical stage; ``execute`` compiles the
+stage list into a :class:`~repro.stream.graph.DataflowGraph`, plans it
+against the resource envelope and runs it.  ``explain`` prints the
+logical tree and the physical plan (clone counts) without executing —
+the EXPLAIN facility every query engine owes its users.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.core.convergence import ConvergenceCriterion
+from repro.core.kmeans import DEFAULT_MAX_ITER
+from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.file_source import BucketFileSource
+from repro.stream.graph import DataflowGraph
+from repro.stream.kmeans_ops import (
+    GridCellChunkSource,
+    MergeKMeansSink,
+    PartialKMeansOperator,
+)
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+
+__all__ = ["QueryError", "QueryResult", "Query"]
+
+
+class QueryError(Exception):
+    """The query is structurally invalid (missing or duplicated stages)."""
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one executed query.
+
+    Attributes:
+        models: final cluster model per cell id.
+        execution: engine-level result (metrics, queues).
+    """
+
+    models: dict[str, Any]
+    execution: ExecutionResult
+
+
+@dataclass
+class _QueryState:
+    """Accumulated logical stages."""
+
+    source_kind: str | None = None
+    source_args: dict[str, Any] = field(default_factory=dict)
+    n_chunks: int | None = None
+    by_memory: bool = False
+    cluster_args: dict[str, Any] | None = None
+    merge_args: dict[str, Any] | None = None
+    resources: ResourceManager | None = None
+    partial_clones: int | None = None
+    seed: int | None = None
+
+
+class Query:
+    """Immutable-ish builder for partial/merge clustering queries.
+
+    Build with the ``scan_*`` constructors, chain stage methods, finish
+    with :meth:`execute`.  Stages may appear once each; ``cluster`` and a
+    source are mandatory, ``merge`` defaults to the cluster stage's k.
+    """
+
+    def __init__(self, state: _QueryState) -> None:
+        self._state = state
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def scan_cells(cells: Mapping[str, np.ndarray]) -> "Query":
+        """Start from in-memory cells (mapping cell id -> points)."""
+        if not cells:
+            raise QueryError("scan_cells requires a non-empty mapping")
+        state = _QueryState(source_kind="cells", source_args={"cells": dict(cells)})
+        return Query(state)
+
+    @staticmethod
+    def scan_buckets(directory: str) -> "Query":
+        """Start from a directory of ``.gbk`` bucket files."""
+        state = _QueryState(
+            source_kind="buckets", source_args={"directory": directory}
+        )
+        return Query(state)
+
+    # -- stages ----------------------------------------------------------------
+
+    def partition(self, n_chunks: int) -> "Query":
+        """Split every cell into a fixed number of chunks."""
+        if n_chunks < 1:
+            raise QueryError(f"n_chunks must be >= 1, got {n_chunks}")
+        if self._state.n_chunks is not None or self._state.by_memory:
+            raise QueryError("partitioning specified twice")
+        self._state.n_chunks = n_chunks
+        return self
+
+    def partition_by_memory(self) -> "Query":
+        """Derive chunk counts from the resource envelope's memory budget."""
+        if self._state.n_chunks is not None or self._state.by_memory:
+            raise QueryError("partitioning specified twice")
+        self._state.by_memory = True
+        return self
+
+    def cluster(
+        self,
+        k: int,
+        restarts: int = 10,
+        seeding: str = "random",
+        criterion: ConvergenceCriterion | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+    ) -> "Query":
+        """Add the partial k-means stage."""
+        if self._state.cluster_args is not None:
+            raise QueryError("cluster stage specified twice")
+        if k < 1:
+            raise QueryError(f"k must be >= 1, got {k}")
+        self._state.cluster_args = {
+            "k": k,
+            "restarts": restarts,
+            "seeding": seeding,
+            "criterion": criterion,
+            "max_iter": max_iter,
+        }
+        return self
+
+    def merge(
+        self,
+        k: int | None = None,
+        criterion: ConvergenceCriterion | None = None,
+        max_iter: int = DEFAULT_MAX_ITER,
+    ) -> "Query":
+        """Add the merge stage (defaults to the cluster stage's k)."""
+        if self._state.merge_args is not None:
+            raise QueryError("merge stage specified twice")
+        self._state.merge_args = {
+            "k": k,
+            "criterion": criterion,
+            "max_iter": max_iter,
+        }
+        return self
+
+    def with_resources(self, resources: ResourceManager) -> "Query":
+        """Set the resource envelope (memory budget, worker slots)."""
+        self._state.resources = resources
+        return self
+
+    def with_partial_clones(self, clones: int) -> "Query":
+        """Pin the number of partial-operator clones."""
+        if clones < 1:
+            raise QueryError(f"clones must be >= 1, got {clones}")
+        self._state.partial_clones = clones
+        return self
+
+    def with_seed(self, seed: int) -> "Query":
+        """Make chunking and seeding deterministic."""
+        self._state.seed = seed
+        return self
+
+    # -- compilation ------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if self._state.source_kind is None:
+            raise QueryError("query has no source stage")
+        if self._state.cluster_args is None:
+            raise QueryError("query has no cluster stage")
+        if self._state.n_chunks is None and not self._state.by_memory:
+            raise QueryError(
+                "query has no partitioning stage "
+                "(call partition(n) or partition_by_memory())"
+            )
+
+    def _resources(self) -> ResourceManager:
+        return (
+            self._state.resources
+            if self._state.resources is not None
+            else ResourceManager()
+        )
+
+    def _build_graph(self) -> DataflowGraph:
+        self._validate()
+        state = self._state
+        resources = self._resources()
+        cluster = dict(state.cluster_args or {})
+        merge = dict(state.merge_args or {"k": None, "criterion": None,
+                                          "max_iter": cluster["max_iter"]})
+        merge_k = merge["k"] if merge["k"] is not None else cluster["k"]
+
+        graph = DataflowGraph()
+        if state.source_kind == "cells":
+            source = GridCellChunkSource(
+                state.source_args["cells"],
+                n_chunks=state.n_chunks,
+                resources=resources if state.by_memory else None,
+                seed=state.seed,
+            )
+            evaluate_on = state.source_args["cells"]
+        else:
+            source = BucketFileSource(
+                state.source_args["directory"],
+                resources=resources if state.by_memory else None,
+                n_chunks=state.n_chunks,
+                name="scan",
+            )
+            evaluate_on = None
+
+        seed_sequence = (
+            np.random.SeedSequence(state.seed) if state.seed is not None else None
+        )
+        partial = PartialKMeansOperator(
+            k=cluster["k"],
+            restarts=cluster["restarts"],
+            seeding=cluster["seeding"],
+            criterion=cluster["criterion"],
+            max_iter=cluster["max_iter"],
+            seed_sequence=seed_sequence,
+        )
+        sink = MergeKMeansSink(
+            k=merge_k,
+            criterion=merge["criterion"],
+            max_iter=merge["max_iter"],
+            evaluate_on=evaluate_on,
+        )
+        graph.add(source, cost_hint=1.0)
+        graph.add(partial, cost_hint=16.0)
+        graph.add(sink, cost_hint=1.0)
+        graph.connect(source.name, "partial")
+        graph.connect("partial", "merge")
+        return graph
+
+    # -- terminal operations --------------------------------------------------
+
+    def explain(self, printer=print) -> "Query":
+        """Print the logical stages and the compiled physical plan."""
+        self._validate()
+        state = self._state
+        cluster = state.cluster_args or {}
+        partition_text = (
+            f"partition_by_memory(budget="
+            f"{self._resources().memory_budget_bytes} B)"
+            if state.by_memory
+            else f"partition(n_chunks={state.n_chunks})"
+        )
+        merge = state.merge_args or {}
+        merge_k = merge.get("k") or cluster.get("k")
+        printer("logical plan:")
+        printer(f"  scan[{state.source_kind}]")
+        printer(f"  -> {partition_text}")
+        printer(
+            f"  -> partial_kmeans(k={cluster.get('k')}, "
+            f"restarts={cluster.get('restarts')})"
+        )
+        printer(f"  -> merge_kmeans(k={merge_k})")
+        graph = self._build_graph()
+        overrides = (
+            {"partial": state.partial_clones} if state.partial_clones else None
+        )
+        plan = Planner(self._resources()).plan(graph, clone_overrides=overrides)
+        printer(plan.describe())
+        return self
+
+    def execute(self) -> QueryResult:
+        """Compile, plan and run the query.
+
+        Returns:
+            A :class:`QueryResult` with per-cell models and metrics.
+        """
+        graph = self._build_graph()
+        overrides = (
+            {"partial": self._state.partial_clones}
+            if self._state.partial_clones
+            else None
+        )
+        plan = Planner(self._resources()).plan(graph, clone_overrides=overrides)
+        outcome = Executor().run(plan)
+        return QueryResult(models=outcome.value, execution=outcome)

@@ -1,0 +1,191 @@
+"""Smart queues: bounded, multi-producer, instrumented.
+
+The paper connects producer and consumer operators "via smart queues to
+avoid buffer overflow or underflow".  :class:`SmartQueue` provides:
+
+* a bounded buffer with blocking backpressure on ``put``,
+* multi-producer accounting — the queue closes (consumers see end of
+  stream) only after *every* registered producer has called
+  :meth:`producer_done`, which is what makes operator cloning transparent
+  to downstream consumers,
+* abort support so a failing plan unblocks all parties, and
+* occupancy / blocking metrics for the planner's cost model.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.stream.errors import QueueClosedError
+
+__all__ = ["QueueStats", "SmartQueue", "END_OF_STREAM"]
+
+
+class _EndOfStream:
+    """Private sentinel signalling stream exhaustion to consumers."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<END_OF_STREAM>"
+
+
+#: Returned by :meth:`SmartQueue.get` when the stream is exhausted.
+END_OF_STREAM = _EndOfStream()
+
+
+@dataclass
+class QueueStats:
+    """Counters observed on one queue.
+
+    Attributes:
+        puts: items enqueued.
+        gets: items dequeued.
+        high_water_mark: maximum buffer occupancy observed.
+        producer_block_seconds: total time producers spent blocked on a
+            full buffer (backpressure).
+        consumer_block_seconds: total time consumers spent blocked on an
+            empty buffer (starvation).
+    """
+
+    puts: int = 0
+    gets: int = 0
+    high_water_mark: int = 0
+    producer_block_seconds: float = 0.0
+    consumer_block_seconds: float = 0.0
+
+
+class SmartQueue:
+    """Bounded multi-producer multi-consumer queue with close semantics.
+
+    Args:
+        name: label used in metrics and error messages.
+        capacity: maximum buffered items; producers block when full.
+    """
+
+    def __init__(self, name: str = "queue", capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.stats = QueueStats()
+        self._buffer: deque[Any] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._producers = 0
+        self._producers_done = 0
+        self._aborted = False
+
+    # -- producer protocol -------------------------------------------------
+
+    def register_producer(self) -> None:
+        """Declare one more producer; must precede its first ``put``."""
+        with self._lock:
+            self._producers += 1
+
+    def producer_done(self) -> None:
+        """Declare one producer finished; closes the queue when all are."""
+        with self._lock:
+            self._producers_done += 1
+            if self._producers_done > self._producers:
+                raise QueueClosedError(
+                    f"queue {self.name!r}: producer_done called more times "
+                    f"than producers registered"
+                )
+            if self._closed_locked():
+                self._not_empty.notify_all()
+
+    def put(self, item: Any, timeout: float | None = None) -> None:
+        """Enqueue ``item``, blocking while the buffer is full.
+
+        Raises:
+            QueueClosedError: the queue was closed or aborted, or the
+                ``timeout`` expired while blocked on backpressure.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_full:
+            while True:
+                if self._aborted:
+                    raise QueueClosedError(f"queue {self.name!r} aborted")
+                if self._closed_locked():
+                    raise QueueClosedError(f"queue {self.name!r} is closed")
+                if len(self._buffer) < self.capacity:
+                    break
+                blocked_at = time.monotonic()
+                remaining = None if deadline is None else deadline - blocked_at
+                if remaining is not None and remaining <= 0:
+                    raise QueueClosedError(
+                        f"queue {self.name!r}: put timed out under backpressure"
+                    )
+                self._not_full.wait(remaining)
+                self.stats.producer_block_seconds += time.monotonic() - blocked_at
+            self._buffer.append(item)
+            self.stats.puts += 1
+            occupancy = len(self._buffer)
+            if occupancy > self.stats.high_water_mark:
+                self.stats.high_water_mark = occupancy
+            self._not_empty.notify()
+
+    # -- consumer protocol -------------------------------------------------
+
+    def get(self, timeout: float | None = None) -> Any:
+        """Dequeue one item; returns :data:`END_OF_STREAM` when exhausted.
+
+        Raises:
+            QueueClosedError: the queue was aborted, or ``timeout`` expired
+                while the buffer stayed empty.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._not_empty:
+            while True:
+                if self._buffer:
+                    item = self._buffer.popleft()
+                    self.stats.gets += 1
+                    self._not_full.notify()
+                    return item
+                if self._aborted:
+                    raise QueueClosedError(f"queue {self.name!r} aborted")
+                if self._closed_locked():
+                    return END_OF_STREAM
+                blocked_at = time.monotonic()
+                remaining = None if deadline is None else deadline - blocked_at
+                if remaining is not None and remaining <= 0:
+                    raise QueueClosedError(
+                        f"queue {self.name!r}: get timed out while starved"
+                    )
+                self._not_empty.wait(remaining)
+                self.stats.consumer_block_seconds += time.monotonic() - blocked_at
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate items until end of stream."""
+        while True:
+            item = self.get()
+            if item is END_OF_STREAM:
+                return
+            yield item
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def abort(self) -> None:
+        """Unblock everyone and poison the queue (error propagation)."""
+        with self._lock:
+            self._aborted = True
+            self._buffer.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        """True when all producers finished (or the queue was aborted)."""
+        with self._lock:
+            return self._aborted or self._closed_locked()
+
+    def _closed_locked(self) -> bool:
+        return self._producers > 0 and self._producers_done == self._producers
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._buffer)

@@ -1,0 +1,78 @@
+"""Resource management: memory budget and worker slots.
+
+The paper's central scalability argument is that partition sizes must be
+derived from *available volatile memory* (RAM, not virtual memory — to
+avoid "undesired paging effects"), and that the number of operator clones
+must be derived from available processors/machines.  The
+:class:`ResourceManager` encodes both decisions so the planner and the
+data partitioners can share them.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["ResourceManager", "DEFAULT_MEMORY_BUDGET"]
+
+#: Default per-operator memory budget: 64 MiB, a conservative stand-in for
+#: the paper's 1 GB machines after OS/JVM overheads.
+DEFAULT_MEMORY_BUDGET = 64 * 1024 * 1024
+
+_FLOAT64_BYTES = 8
+#: Working-set multiplier: Lloyd needs the points, the (n, k) distance
+#: matrix rows, and assignment/weight buffers; 3x the raw point bytes is a
+#: safe envelope for the d and k used in the paper's workloads.
+_WORKING_SET_FACTOR = 3.0
+
+
+@dataclass(frozen=True)
+class ResourceManager:
+    """Describes the compute resources a plan may use.
+
+    Attributes:
+        memory_budget_bytes: volatile memory one partial operator may use
+            for its partition's working set.
+        worker_slots: concurrent operator threads available (the paper's
+            "machines"); defaults to the host CPU count.
+    """
+
+    memory_budget_bytes: int = DEFAULT_MEMORY_BUDGET
+    worker_slots: int = 0
+
+    def __post_init__(self) -> None:
+        if self.memory_budget_bytes < 1024:
+            raise ValueError(
+                f"memory budget unreasonably small: {self.memory_budget_bytes}"
+            )
+        if self.worker_slots < 0:
+            raise ValueError(f"worker_slots must be >= 0, got {self.worker_slots}")
+        if self.worker_slots == 0:
+            object.__setattr__(
+                self, "worker_slots", max(1, os.cpu_count() or 1)
+            )
+
+    def max_points_per_partition(self, dim: int) -> int:
+        """Largest partition (in points) that fits the memory budget.
+
+        Args:
+            dim: data dimensionality.
+
+        Returns:
+            Point capacity, at least 1.
+        """
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        bytes_per_point = dim * _FLOAT64_BYTES * _WORKING_SET_FACTOR
+        return max(1, int(self.memory_budget_bytes / bytes_per_point))
+
+    def partitions_for(self, n_points: int, dim: int) -> int:
+        """Number of equal partitions needed so each fits in memory."""
+        if n_points < 1:
+            raise ValueError(f"n_points must be >= 1, got {n_points}")
+        cap = self.max_points_per_partition(dim)
+        return max(1, -(-n_points // cap))  # ceil division
+
+    def clones_available(self, reserved: int) -> int:
+        """Worker slots left for cloning after ``reserved`` singleton ops."""
+        return max(1, self.worker_slots - reserved)

@@ -1,0 +1,100 @@
+"""Execution traces: JSON export and ASCII Gantt rendering.
+
+Two consumers:
+
+* engineers debugging a plan — dump an
+  :class:`~repro.stream.metrics.ExecutionMetrics` to JSON and diff runs,
+* the distributed simulator — render a
+  :class:`~repro.stream.distributed.SimReport` schedule as a Gantt chart
+  so placement and idle gaps are visible in a terminal.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.stream.distributed import SimReport
+from repro.stream.metrics import ExecutionMetrics
+
+__all__ = ["metrics_to_dict", "dump_metrics_json", "render_gantt"]
+
+
+def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
+    """Convert execution metrics to a JSON-safe dictionary."""
+    return {
+        "wall_seconds": metrics.wall_seconds,
+        "operators": [
+            {
+                "name": op.name,
+                "items_in": op.items_in,
+                "items_out": op.items_out,
+                "busy_seconds": op.busy_seconds,
+                "wall_seconds": op.wall_seconds,
+                "utilization": op.utilization,
+            }
+            for op in metrics.operators
+        ],
+        "queues": {
+            name: {
+                "puts": stats.puts,
+                "gets": stats.gets,
+                "high_water_mark": stats.high_water_mark,
+                "producer_block_seconds": stats.producer_block_seconds,
+                "consumer_block_seconds": stats.consumer_block_seconds,
+            }
+            for name, stats in metrics.queues.items()
+        },
+    }
+
+
+def dump_metrics_json(metrics: ExecutionMetrics, path: str | Path) -> Path:
+    """Write execution metrics as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(json.dumps(metrics_to_dict(metrics), indent=2))
+    return target
+
+
+_KIND_MARKS = {"partial": "#", "merge": "M", "transfer": "-", "broadcast": "B"}
+
+
+def render_gantt(report: SimReport, width: int = 72) -> str:
+    """ASCII Gantt chart of a simulated schedule.
+
+    One row per machine; time flows left to right across ``width``
+    columns.  Marks: ``#`` compute, ``M`` merge, ``-`` transfer,
+    ``B`` broadcast; later events overwrite earlier ones per column.
+    """
+    if width < 10:
+        raise ValueError(f"width must be >= 10, got {width}")
+    if not report.events:
+        return "(empty schedule)"
+    span = max(report.makespan_seconds, 1e-9)
+    machines = sorted({event.machine for event in report.events})
+    rows = {machine: [" "] * width for machine in machines}
+
+    for event in sorted(report.events, key=lambda e: e.start):
+        row = rows[event.machine]
+        start_col = int(event.start / span * (width - 1))
+        end_col = max(start_col + 1, int(event.end / span * (width - 1)))
+        mark = _KIND_MARKS.get(event.kind, "?")
+        for col in range(start_col, min(end_col, width)):
+            row[col] = mark
+
+    name_width = max(len(machine) for machine in machines)
+    lines = [
+        f"Gantt — makespan {report.makespan_seconds:.3f}s "
+        f"({report.network_bytes / 1e6:.1f} MB on the network)"
+    ]
+    for machine in machines:
+        lines.append(f"{machine:>{name_width}} |{''.join(rows[machine])}|")
+    lines.append(
+        " " * name_width
+        + "  0"
+        + " " * (width - 8)
+        + f"{report.makespan_seconds:.2f}s"
+    )
+    lines.append(
+        " " * name_width + "  legend: # partial  M merge  - transfer  B broadcast"
+    )
+    return "\n".join(lines)

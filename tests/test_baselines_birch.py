@@ -1,0 +1,90 @@
+"""Unit tests for the BIRCH CF-tree baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.birch import Birch, CFEntry
+
+
+class TestCFEntry:
+    def test_of_point(self):
+        entry = CFEntry.of_point(np.array([3.0, 4.0]))
+        assert entry.n == 1.0
+        np.testing.assert_allclose(entry.centroid, [3.0, 4.0])
+        assert entry.square_sum == pytest.approx(25.0)
+        assert entry.radius == pytest.approx(0.0, abs=1e-9)
+
+    def test_absorb_additivity(self):
+        a = CFEntry.of_point(np.array([0.0, 0.0]))
+        b = CFEntry.of_point(np.array([2.0, 0.0]))
+        a.absorb(b)
+        assert a.n == 2.0
+        np.testing.assert_allclose(a.centroid, [1.0, 0.0])
+        assert a.radius == pytest.approx(1.0)
+
+    def test_merged_radius_matches_actual_absorb(self):
+        a = CFEntry.of_point(np.array([0.0]))
+        b = CFEntry.of_point(np.array([6.0]))
+        predicted = a.merged_radius(b)
+        a.absorb(b)
+        assert predicted == pytest.approx(a.radius)
+
+    def test_radius_never_negative(self):
+        entry = CFEntry.of_point(np.array([1e8]))
+        entry.absorb(CFEntry.of_point(np.array([1e8])))
+        assert entry.radius >= 0.0
+
+
+class TestBirch:
+    def test_fit_returns_model(self, blobs_2d):
+        model = Birch(k=4, threshold=0.5).fit(blobs_2d)
+        assert model.method == "birch"
+        assert model.k <= 4
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+
+    def test_finds_blob_structure(self, blobs_2d, blob_centers_2d):
+        model = Birch(k=4, threshold=0.6).fit(blobs_2d)
+        for center in blob_centers_2d:
+            nearest = np.min(((model.centroids - center) ** 2).sum(axis=1))
+            assert nearest < 1.0
+
+    def test_small_threshold_builds_more_leaf_cfs(self, blobs_2d):
+        fine = Birch(k=4, threshold=0.1).fit(blobs_2d)
+        coarse = Birch(k=4, threshold=5.0).fit(blobs_2d)
+        assert fine.extra["leaf_cf_count"] > coarse.extra["leaf_cf_count"]
+
+    def test_single_pass_over_many_points_stays_compact(self, rng):
+        points = rng.normal(size=(3_000, 4))
+        model = Birch(k=8, threshold=1.0, leaf_entries=16, branching=8).fit(
+            points
+        )
+        # The CF-tree must summarise, not memorise.
+        assert model.extra["leaf_cf_count"] < 3_000
+        assert model.weights.sum() == pytest.approx(3_000)
+
+    def test_fewer_leaves_than_k_skips_global_step(self):
+        points = np.vstack([np.zeros((10, 2)), np.ones((10, 2)) * 100])
+        model = Birch(k=10, threshold=10.0).fit(points)
+        assert model.k <= 2
+
+    def test_leaf_summaries_requires_fit(self):
+        with pytest.raises(ValueError, match="fit has not"):
+            Birch(k=3).leaf_summaries()
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            Birch(k=0)
+        with pytest.raises(ValueError, match="threshold"):
+            Birch(k=3, threshold=0.0)
+        with pytest.raises(ValueError, match="branching"):
+            Birch(k=3, branching=1)
+
+    def test_node_splits_keep_all_mass(self, rng):
+        """Force many splits with tiny nodes and verify conservation."""
+        points = rng.normal(scale=50.0, size=(500, 3))
+        model = Birch(
+            k=5, threshold=0.5, leaf_entries=3, branching=3
+        ).fit(points)
+        assert model.weights.sum() == pytest.approx(500)

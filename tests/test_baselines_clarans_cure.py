@@ -1,0 +1,106 @@
+"""Tests for the CLARANS and CURE baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.clarans import Clarans
+from repro.baselines.cure import Cure
+
+
+class TestClarans:
+    def test_model_structure(self, blobs_2d):
+        model = Clarans(k=4, numlocal=1, maxneighbor=60, seed=0).fit(blobs_2d)
+        assert model.method == "clarans"
+        assert model.k <= 4
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+        assert model.extra["swaps_tried"] >= 1
+
+    def test_medoids_are_data_points(self, blobs_2d):
+        model = Clarans(k=4, numlocal=1, maxneighbor=40, seed=0).fit(blobs_2d)
+        for medoid in model.centroids:
+            assert any(np.allclose(medoid, p) for p in blobs_2d)
+
+    def test_finds_blob_structure(self, blobs_2d, blob_centers_2d):
+        model = Clarans(k=4, numlocal=2, maxneighbor=120, seed=1).fit(blobs_2d)
+        found = sum(
+            np.min(((model.centroids - c) ** 2).sum(axis=1)) < 1.0
+            for c in blob_centers_2d
+        )
+        assert found >= 3
+
+    def test_more_search_never_worse_cost(self, blobs_6d):
+        little = Clarans(k=5, numlocal=1, maxneighbor=10, seed=3).fit(blobs_6d)
+        lots = Clarans(k=5, numlocal=3, maxneighbor=150, seed=3).fit(blobs_6d)
+        assert lots.extra["medoid_cost"] <= little.extra["medoid_cost"] * 1.2
+
+    def test_k_clamped(self):
+        points = np.random.default_rng(0).normal(size=(3, 2))
+        model = Clarans(k=10, numlocal=1, maxneighbor=5, seed=0).fit(points)
+        assert model.k <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            Clarans(k=0)
+        with pytest.raises(ValueError, match="numlocal"):
+            Clarans(k=3, numlocal=0)
+        with pytest.raises(ValueError, match="maxneighbor"):
+            Clarans(k=3, maxneighbor=0)
+
+    def test_deterministic(self, blobs_2d):
+        a = Clarans(k=4, numlocal=1, maxneighbor=30, seed=7).fit(blobs_2d)
+        b = Clarans(k=4, numlocal=1, maxneighbor=30, seed=7).fit(blobs_2d)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+
+class TestCure:
+    def test_model_structure(self, blobs_2d):
+        model = Cure(k=4, sample_size=80, seed=0).fit(blobs_2d)
+        assert model.method == "cure"
+        assert model.k <= 4
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+
+    def test_finds_blob_structure(self, blobs_2d, blob_centers_2d):
+        model = Cure(k=4, sample_size=100, seed=1).fit(blobs_2d)
+        found = sum(
+            np.min(((model.centroids - c) ** 2).sum(axis=1)) < 1.0
+            for c in blob_centers_2d
+        )
+        assert found == 4  # CURE excels on well-separated blobs
+
+    def test_elongated_clusters(self, rng):
+        """CURE's scattered representatives capture non-spherical shape."""
+        line_a = np.column_stack(
+            [np.linspace(0, 10, 150), rng.normal(0, 0.1, 150)]
+        )
+        line_b = np.column_stack(
+            [np.linspace(0, 10, 150), rng.normal(5, 0.1, 150)]
+        )
+        data = np.vstack([line_a, line_b])
+        model = Cure(
+            k=2, n_representatives=8, shrink=0.2, sample_size=120, seed=0
+        ).fit(data)
+        # Two clusters, split by the y coordinate, roughly equal mass.
+        assert model.k == 2
+        assert min(model.weights) > 100
+
+    def test_sample_smaller_than_data(self, blobs_6d):
+        model = Cure(k=5, sample_size=60, seed=0).fit(blobs_6d)
+        assert model.extra["sample_size"] == 60
+        assert model.weights.sum() == pytest.approx(blobs_6d.shape[0])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            Cure(k=0)
+        with pytest.raises(ValueError, match="shrink"):
+            Cure(k=3, shrink=1.5)
+        with pytest.raises(ValueError, match="n_representatives"):
+            Cure(k=3, n_representatives=0)
+        with pytest.raises(ValueError, match="sample_size"):
+            Cure(k=3, sample_size=1)
+
+    def test_deterministic(self, blobs_2d):
+        a = Cure(k=4, sample_size=60, seed=5).fit(blobs_2d)
+        b = Cure(k=4, sample_size=60, seed=5).fit(blobs_2d)
+        np.testing.assert_array_equal(a.centroids, b.centroids)

@@ -1,0 +1,64 @@
+"""Unit tests for the STREAM/LOCALSEARCH baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.localsearch import StreamLocalSearch
+
+
+class TestStreamLocalSearch:
+    def test_basic_fit(self, blobs_6d):
+        model = StreamLocalSearch(k=5, batch_size=150, seed=0).fit(blobs_6d)
+        assert model.method == "stream-localsearch"
+        assert model.k <= 5
+        assert model.mse >= 0.0
+        assert model.extra["points_seen"] == blobs_6d.shape[0]
+
+    def test_weights_cover_all_points(self, blobs_6d):
+        model = StreamLocalSearch(k=5, batch_size=100, seed=0).fit(blobs_6d)
+        assert model.weights.sum() == pytest.approx(blobs_6d.shape[0])
+
+    def test_compressions_triggered_by_small_retention(self, blobs_6d):
+        model = StreamLocalSearch(
+            k=4, batch_size=50, retention_limit=4, seed=0
+        ).fit(blobs_6d)
+        assert model.extra["compressions"] >= 1
+
+    def test_no_compressions_with_large_retention(self, blobs_6d):
+        model = StreamLocalSearch(
+            k=4, batch_size=300, retention_limit=10_000, seed=0
+        ).fit(blobs_6d)
+        assert model.extra["compressions"] == 0
+
+    def test_fit_stream_from_generator(self, blobs_6d):
+        batches = (blobs_6d[i : i + 100] for i in range(0, 600, 100))
+        model = StreamLocalSearch(k=5, seed=0).fit_stream(
+            batches, evaluate_on=blobs_6d
+        )
+        assert model.partitions == 6
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ValueError, match="no batches"):
+            StreamLocalSearch(k=3, seed=0).fit_stream(iter([]))
+
+    def test_quality_reasonable_on_blobs(self, blobs_2d):
+        model = StreamLocalSearch(
+            k=4, batch_size=100, restarts=3, seed=0
+        ).fit(blobs_2d)
+        # Four well-separated blobs: streaming should land near them.
+        assert model.mse < 10.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            StreamLocalSearch(k=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            StreamLocalSearch(k=3, batch_size=0)
+        with pytest.raises(ValueError, match="retention_limit"):
+            StreamLocalSearch(k=5, retention_limit=3)
+
+    def test_deterministic(self, blobs_6d):
+        a = StreamLocalSearch(k=5, batch_size=150, seed=9).fit(blobs_6d)
+        b = StreamLocalSearch(k=5, batch_size=150, seed=9).fit(blobs_6d)
+        np.testing.assert_array_equal(a.centroids, b.centroids)

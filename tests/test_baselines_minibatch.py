@@ -1,0 +1,54 @@
+"""Unit tests for mini-batch k-means."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.minibatch import MiniBatchKMeans
+
+
+class TestMiniBatchKMeans:
+    def test_fit_returns_model(self, blobs_2d):
+        model = MiniBatchKMeans(k=4, batch_size=64, seed=0).fit(blobs_2d)
+        assert model.method == "minibatch"
+        assert model.k == 4
+        assert model.total_seconds >= 0.0
+
+    def test_default_steps_cover_one_epoch(self, blobs_2d):
+        model = MiniBatchKMeans(k=4, batch_size=100, seed=0).fit(blobs_2d)
+        assert model.extra["steps"] == 4  # 400 points / 100 per batch
+
+    def test_explicit_step_count(self, blobs_2d):
+        model = MiniBatchKMeans(k=4, batch_size=50, n_batches=11, seed=0).fit(
+            blobs_2d
+        )
+        assert model.extra["steps"] == 11
+
+    def test_finds_most_blob_structure(self, blobs_2d, blob_centers_2d):
+        """One-pass mini-batch can miss a blob on an unlucky seeding, so
+        require at least 3 of the 4 blobs captured and a sane error."""
+        model = MiniBatchKMeans(
+            k=4, batch_size=128, n_batches=30, seed=0
+        ).fit(blobs_2d)
+        captured = sum(
+            np.min(((model.centroids - center) ** 2).sum(axis=1)) < 2.0
+            for center in blob_centers_2d
+        )
+        assert captured >= 3
+        assert model.mse < 40.0
+
+    def test_batch_larger_than_data(self, blobs_2d):
+        model = MiniBatchKMeans(k=4, batch_size=10_000, seed=0).fit(blobs_2d)
+        assert model.k == 4
+
+    def test_deterministic(self, blobs_6d):
+        a = MiniBatchKMeans(k=5, batch_size=100, seed=4).fit(blobs_6d)
+        b = MiniBatchKMeans(k=5, batch_size=100, seed=4).fit(blobs_6d)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            MiniBatchKMeans(k=0)
+        with pytest.raises(ValueError, match="batch_size"):
+            MiniBatchKMeans(k=3, batch_size=0)

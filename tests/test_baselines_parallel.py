@@ -1,0 +1,93 @@
+"""Unit tests for the Figure-2 parallelization methods."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.parallel_methods import (
+    method_a_cells_in_parallel,
+    method_b_restarts_in_parallel,
+    method_c_distance_partitioned,
+)
+from repro.baselines.serial import SerialKMeans
+
+
+class TestMethodA:
+    def test_one_model_per_cell(self, blobs_2d, blobs_6d):
+        cells = {"a": blobs_2d, "b": blobs_6d}
+        models = method_a_cells_in_parallel(cells, k=4, restarts=2, seed=0)
+        assert set(models) == {"a", "b"}
+        assert models["a"].dim == 2
+        assert models["b"].dim == 6
+
+    def test_quality_matches_serial(self, blobs_2d):
+        models = method_a_cells_in_parallel(
+            {"only": blobs_2d}, k=4, restarts=4, seed=0
+        )
+        serial = SerialKMeans(k=4, restarts=4, seed=0).fit(blobs_2d)
+        assert models["only"].mse <= serial.mse * 2 + 1.0
+
+    def test_rejects_bad_workers(self, blobs_2d):
+        with pytest.raises(ValueError, match="max_workers"):
+            method_a_cells_in_parallel({"a": blobs_2d}, k=3, max_workers=0)
+
+
+class TestMethodB:
+    def test_result_is_min_over_restarts(self, blobs_2d):
+        model = method_b_restarts_in_parallel(
+            blobs_2d, k=4, restarts=5, max_workers=2, seed=0
+        )
+        assert model.method == "method-B"
+        assert model.mse == pytest.approx(min(model.extra["restart_mses"]))
+
+    def test_weights_cover_points(self, blobs_2d):
+        model = method_b_restarts_in_parallel(
+            blobs_2d, k=4, restarts=3, seed=0
+        )
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+
+    def test_worker_count_does_not_change_result(self, blobs_6d):
+        a = method_b_restarts_in_parallel(
+            blobs_6d, k=5, restarts=4, max_workers=1, seed=2
+        )
+        b = method_b_restarts_in_parallel(
+            blobs_6d, k=5, restarts=4, max_workers=4, seed=2
+        )
+        np.testing.assert_allclose(a.mse, b.mse)
+
+
+class TestMethodC:
+    def test_matches_lloyd_quality(self, blobs_2d):
+        model, __ = method_c_distance_partitioned(
+            blobs_2d, k=4, n_slaves=2, seed=0
+        )
+        # Numerically identical iteration to Lloyd; must find a sane optimum.
+        assert model.mse < 30.0
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+
+    def test_message_ledger_populated(self, blobs_2d):
+        __, stats = method_c_distance_partitioned(
+            blobs_2d, k=4, n_slaves=4, seed=0
+        )
+        assert stats.iterations >= 1
+        assert stats.broadcasts == stats.iterations * 4 * 3
+        assert stats.migrated_points >= 0
+        assert len(stats.per_iteration_migrations) == stats.iterations - 1
+
+    def test_migrations_taper_as_it_converges(self, blobs_6d):
+        __, stats = method_c_distance_partitioned(
+            blobs_6d, k=6, n_slaves=3, seed=1
+        )
+        if len(stats.per_iteration_migrations) >= 3:
+            first = stats.per_iteration_migrations[0]
+            last = stats.per_iteration_migrations[-1]
+            assert last <= max(first, 1)
+
+    def test_rejects_k_smaller_than_slaves(self, blobs_2d):
+        with pytest.raises(ValueError, match="k >= n_slaves"):
+            method_c_distance_partitioned(blobs_2d, k=2, n_slaves=4)
+
+    def test_rejects_zero_slaves(self, blobs_2d):
+        with pytest.raises(ValueError, match="n_slaves"):
+            method_c_distance_partitioned(blobs_2d, k=4, n_slaves=0)

@@ -1,0 +1,45 @@
+"""Unit tests for the serial k-means baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import SerialKMeans
+
+
+class TestSerialKMeans:
+    def test_model_fields(self, blobs_2d):
+        model = SerialKMeans(k=4, restarts=3, seed=0).fit(blobs_2d)
+        assert model.method == "serial"
+        assert model.partitions == 1
+        assert model.restarts == 3
+        assert model.total_seconds > 0.0
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+
+    def test_finds_blobs(self, blobs_2d, blob_centers_2d):
+        model = SerialKMeans(k=4, restarts=5, seed=0).fit(blobs_2d)
+        for center in blob_centers_2d:
+            nearest = np.min(((model.centroids - center) ** 2).sum(axis=1))
+            assert nearest < 0.5
+
+    def test_extra_diagnostics(self, blobs_2d):
+        model = SerialKMeans(k=4, restarts=4, seed=0).fit(blobs_2d)
+        assert len(model.extra["restart_mses"]) == 4
+        assert len(model.extra["iterations"]) == 4
+        assert model.extra["restart_mses"][model.extra["best_restart"]] == (
+            pytest.approx(min(model.extra["restart_mses"]))
+        )
+
+    def test_deterministic(self, blobs_6d):
+        a = SerialKMeans(k=5, restarts=2, seed=3).fit(blobs_6d)
+        b = SerialKMeans(k=5, restarts=2, seed=3).fit(blobs_6d)
+        np.testing.assert_array_equal(a.centroids, b.centroids)
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError, match="k must be"):
+            SerialKMeans(k=0)
+
+    def test_mse_is_min_over_restarts(self, blobs_2d):
+        model = SerialKMeans(k=4, restarts=6, seed=1).fit(blobs_2d)
+        assert model.mse == pytest.approx(min(model.extra["restart_mses"]))

@@ -1,0 +1,260 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_table2_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.config == "quick"
+        assert args.workers == 1
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table2", "--config", "huge"])
+
+    def test_speedup_clone_list(self):
+        args = build_parser().parse_args(
+            ["speedup", "--clones", "1", "2", "8"]
+        )
+        assert args.clones == [1, 2, 8]
+
+
+class TestCommands:
+    def test_generate_and_cluster(self, tmp_path, capsys):
+        out = tmp_path / "buckets"
+        assert (
+            main(
+                [
+                    "generate",
+                    "--out",
+                    str(out),
+                    "--cells",
+                    "1",
+                    "--points",
+                    "300",
+                    "--seed",
+                    "3",
+                ]
+            )
+            == 0
+        )
+        listed = capsys.readouterr().out.strip().splitlines()
+        assert len(listed) == 1
+        bucket_path = listed[0]
+
+        assert (
+            main(
+                [
+                    "cluster",
+                    bucket_path,
+                    "--k",
+                    "6",
+                    "--chunks",
+                    "3",
+                    "--restarts",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        output = capsys.readouterr().out
+        assert "serial" in output
+        assert "partial/merge" in output
+
+    def test_speedup_command(self, capsys):
+        assert (
+            main(
+                [
+                    "speedup",
+                    "--points",
+                    "300",
+                    "--k",
+                    "4",
+                    "--chunks",
+                    "2",
+                    "--clones",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "Speed-up" in capsys.readouterr().out
+
+    def test_table2_smoke_config(self, capsys):
+        assert main(["table2", "--config", "smoke"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figures_smoke_config(self, capsys):
+        assert main(["figures", "--config", "smoke"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 6" in output
+        assert "Figure 7" in output
+        assert "Figure 8" in output
+
+
+class TestNewCommands:
+    def test_swath_and_compress_roundtrip(self, tmp_path, capsys):
+        granules = tmp_path / "granules"
+        buckets = tmp_path / "buckets"
+        mvh = tmp_path / "mvh"
+        assert (
+            main(
+                [
+                    "swath",
+                    "--granules", str(granules),
+                    "--buckets", str(buckets),
+                    "--orbits", "2",
+                    "--footprints", "300",
+                    "--samples", "60",
+                    "--min-points", "120",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "granules" in out and "buckets" in out
+
+        assert (
+            main(
+                [
+                    "compress",
+                    str(buckets),
+                    "--out", str(mvh),
+                    "--k", "8",
+                    "--chunks", "3",
+                    "--restarts", "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "compression ratio" in out
+        assert list(mvh.glob("*.mvh"))
+
+    def test_compress_empty_dir_fails(self, tmp_path, capsys):
+        empty = tmp_path / "none"
+        empty.mkdir()
+        assert (
+            main(["compress", str(empty), "--out", str(tmp_path / "o")]) == 1
+        )
+
+    def test_convergence_command(self, capsys):
+        assert (
+            main(
+                [
+                    "convergence",
+                    "--sizes", "200", "400",
+                    "--k", "8",
+                    "--restarts", "2",
+                    "--chunks", "4",
+                ]
+            )
+            == 0
+        )
+        assert "Convergence study" in capsys.readouterr().out
+
+    def test_query_command(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--out", str(tmp_path / "b"),
+                "--cells", "1",
+                "--points", "400",
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    str(tmp_path / "b"),
+                    "--k", "6",
+                    "--chunks", "2",
+                    "--restarts", "2",
+                    "--seed", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "logical plan" in out
+        assert "physical plan" in out
+        assert "partitions=2" in out
+
+    def test_query_explain_only(self, tmp_path, capsys):
+        main(
+            [
+                "generate",
+                "--out", str(tmp_path / "b"),
+                "--cells", "1",
+                "--points", "200",
+            ]
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                ["query", str(tmp_path / "b"), "--k", "4", "--explain-only"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "logical plan" in out
+        assert "partitions=" not in out
+
+    def test_report_command(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        assert (
+            main(
+                [
+                    "report",
+                    "--config", "smoke",
+                    "--out", str(out),
+                    "--no-speedup",
+                    "--no-convergence",
+                ]
+            )
+            == 0
+        )
+        text = out.read_text()
+        assert "Reproduction report" in text
+        assert "Table 2" in text
+        assert "Figure 7b" in text
+
+    def test_ksens_command(self, capsys):
+        assert (
+            main(
+                [
+                    "ksens",
+                    "--ks", "4", "8",
+                    "--points", "400",
+                    "--restarts", "1",
+                    "--chunks", "3",
+                ]
+            )
+            == 0
+        )
+        assert "k-sensitivity" in capsys.readouterr().out
+
+    def test_noise_command(self, capsys):
+        assert (
+            main(
+                [
+                    "noise",
+                    "--epsilons", "0.0", "0.02",
+                    "--points", "500",
+                    "--k", "6",
+                    "--restarts", "1",
+                ]
+            )
+            == 0
+        )
+        assert "Noise study" in capsys.readouterr().out

@@ -1,0 +1,277 @@
+"""Unit tests for the compression application (codebook + histogram)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import SerialKMeans
+from repro.compression.codebook import Codebook
+from repro.compression.histogram import HistogramBucket, MultivariateHistogram
+from repro.compression.metrics import (
+    moment_preservation_error,
+    random_query_boxes,
+    range_query_relative_errors,
+)
+
+
+@pytest.fixture
+def model(blobs_2d):
+    return SerialKMeans(k=4, restarts=3, seed=0).fit(blobs_2d)
+
+
+class TestCodebook:
+    def test_encode_decode_roundtrip_shape(self, blobs_2d, model):
+        codebook = Codebook.from_model(model)
+        indices = codebook.encode(blobs_2d)
+        decoded = codebook.decode(indices)
+        assert indices.shape == (blobs_2d.shape[0],)
+        assert decoded.shape == blobs_2d.shape
+
+    def test_encode_picks_nearest(self, model):
+        codebook = Codebook.from_model(model)
+        for index, centroid in enumerate(codebook.centroids):
+            assert codebook.encode(centroid.reshape(1, -1))[0] == index
+
+    def test_bits_per_point(self):
+        assert Codebook(np.random.rand(2, 3)).bits_per_point == 1
+        assert Codebook(np.random.rand(40, 3)).bits_per_point == 6
+        assert Codebook(np.random.rand(64, 3)).bits_per_point == 6
+        assert Codebook(np.random.rand(65, 3)).bits_per_point == 7
+
+    def test_distortion_matches_mse(self, blobs_2d, model):
+        from repro.core.quality import mse
+
+        codebook = Codebook.from_model(model)
+        assert codebook.distortion(blobs_2d) == pytest.approx(
+            mse(blobs_2d, model.centroids)
+        )
+
+    def test_compression_ratio_sane(self, model):
+        codebook = Codebook.from_model(model)
+        ratio = codebook.compression_ratio(100_000)
+        assert ratio > 10.0  # 2 dims float64 vs ~2 bits/pt
+
+    def test_decode_rejects_out_of_range(self, model):
+        codebook = Codebook.from_model(model)
+        with pytest.raises(ValueError, match="out of codebook range"):
+            codebook.decode(np.array([99]))
+
+    def test_encode_rejects_dim_mismatch(self, model):
+        codebook = Codebook.from_model(model)
+        with pytest.raises(ValueError, match="dimension"):
+            codebook.encode(np.ones((3, 5)))
+
+
+class TestHistogramBucket:
+    def test_volume(self):
+        bucket = HistogramBucket(
+            centroid=np.array([0.5, 0.5]),
+            count=10.0,
+            lower=np.array([0.0, 0.0]),
+            upper=np.array([1.0, 2.0]),
+        )
+        assert bucket.volume == pytest.approx(2.0)
+
+    def test_overlap_full_containment(self):
+        bucket = HistogramBucket(
+            centroid=np.array([0.5]),
+            count=10.0,
+            lower=np.array([0.0]),
+            upper=np.array([1.0]),
+        )
+        assert bucket.overlap_fraction(
+            np.array([-1.0]), np.array([2.0])
+        ) == pytest.approx(1.0)
+
+    def test_overlap_half(self):
+        bucket = HistogramBucket(
+            centroid=np.array([0.5]),
+            count=10.0,
+            lower=np.array([0.0]),
+            upper=np.array([1.0]),
+        )
+        assert bucket.overlap_fraction(
+            np.array([0.5]), np.array([5.0])
+        ) == pytest.approx(0.5)
+
+    def test_overlap_disjoint(self):
+        bucket = HistogramBucket(
+            centroid=np.array([0.5]),
+            count=10.0,
+            lower=np.array([0.0]),
+            upper=np.array([1.0]),
+        )
+        assert bucket.overlap_fraction(np.array([5.0]), np.array([6.0])) == 0.0
+
+    def test_degenerate_axis_inside(self):
+        bucket = HistogramBucket(
+            centroid=np.array([1.0, 0.5]),
+            count=5.0,
+            lower=np.array([1.0, 0.0]),
+            upper=np.array([1.0, 1.0]),  # zero extent on axis 0
+        )
+        assert bucket.overlap_fraction(
+            np.array([0.0, 0.0]), np.array([2.0, 1.0])
+        ) == pytest.approx(1.0)
+        assert bucket.overlap_fraction(
+            np.array([2.0, 0.0]), np.array([3.0, 1.0])
+        ) == 0.0
+
+
+class TestMultivariateHistogram:
+    def test_buckets_cover_all_points(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        assert histogram.total_count == pytest.approx(blobs_2d.shape[0])
+
+    def test_whole_domain_query_counts_everything(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        lo = blobs_2d.min(axis=0) - 1.0
+        hi = blobs_2d.max(axis=0) + 1.0
+        assert histogram.estimate_count(lo, hi) == pytest.approx(
+            blobs_2d.shape[0], rel=1e-9
+        )
+
+    def test_empty_region_estimates_near_zero(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        estimate = histogram.estimate_count(
+            np.array([100.0, 100.0]), np.array([110.0, 110.0])
+        )
+        assert estimate == pytest.approx(0.0, abs=1e-9)
+
+    def test_query_box_validation(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        with pytest.raises(ValueError, match="shape"):
+            histogram.estimate_count(np.zeros(3), np.ones(3))
+        with pytest.raises(ValueError, match="upper < lower"):
+            histogram.estimate_count(np.ones(2), np.zeros(2))
+
+    def test_reconstruct_shapes(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        centroids, counts = histogram.reconstruct()
+        assert centroids.shape[0] == counts.shape[0] == len(histogram.buckets)
+
+    def test_compression_ratio(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        assert histogram.compression_ratio(100_000) > 100.0
+        with pytest.raises(ValueError, match="n_points"):
+            histogram.compression_ratio(0)
+
+
+class TestCompressionMetrics:
+    def test_moment_preservation_perfect_for_exact_model(self, blobs_2d, model):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        centroids, counts = histogram.reconstruct()
+        errors = moment_preservation_error(blobs_2d, centroids, counts)
+        # Cluster means weighted by counts reproduce the mean exactly.
+        assert errors["mean_relative_error"] < 1e-9
+        assert errors["second_moment_relative_error"] < 0.2
+
+    def test_random_query_boxes_shape(self, blobs_2d, rng):
+        boxes = random_query_boxes(blobs_2d, 10, rng)
+        assert len(boxes) == 10
+        for lo, hi in boxes:
+            assert (hi >= lo).all()
+
+    def test_range_query_errors_bounded_on_blobs(self, blobs_2d, model, rng):
+        histogram = MultivariateHistogram.from_model(blobs_2d, model)
+        boxes = random_query_boxes(blobs_2d, 20, rng, relative_extent=0.5)
+        errors = range_query_relative_errors(blobs_2d, histogram, boxes)
+        assert errors.shape == (20,)
+        assert np.median(errors) < 1.0
+
+    def test_counts_alignment_checked(self, blobs_2d):
+        with pytest.raises(ValueError, match="align"):
+            moment_preservation_error(
+                blobs_2d, np.ones((3, 2)), np.ones(2)
+            )
+
+
+class TestMarginalsAndQuantiles:
+    @pytest.fixture
+    def histogram(self, blobs_2d, model):
+        return MultivariateHistogram.from_model(blobs_2d, model)
+
+    def test_marginal_mass_conserved(self, blobs_2d, histogram):
+        __, counts = histogram.marginal(0, n_bins=16)
+        assert counts.sum() == pytest.approx(blobs_2d.shape[0], rel=1e-9)
+
+    def test_marginal_tracks_data_density(self, blobs_2d, histogram):
+        """Bins around the two blob columns (x ~ 0 and x ~ 10) must carry
+        far more mass than the empty middle."""
+        edges, counts = histogram.marginal(0, n_bins=20)
+        centers = (edges[:-1] + edges[1:]) / 2
+        near_blobs = counts[(np.abs(centers) < 2) | (np.abs(centers - 10) < 2)]
+        middle = counts[(centers > 3) & (centers < 7)]
+        assert near_blobs.sum() > 10 * max(middle.sum(), 1e-9)
+
+    def test_marginal_validation(self, histogram):
+        with pytest.raises(ValueError, match="axis"):
+            histogram.marginal(9)
+        with pytest.raises(ValueError, match="n_bins"):
+            histogram.marginal(0, n_bins=0)
+
+    def test_quantile_monotone(self, histogram):
+        q25 = histogram.quantile(0, 0.25)
+        q50 = histogram.quantile(0, 0.50)
+        q75 = histogram.quantile(0, 0.75)
+        assert q25 <= q50 <= q75
+
+    def test_quantile_close_to_raw_on_unimodal_data(self, rng):
+        """On unimodal data (where quantiles are well defined) histogram
+        quantiles approximate the raw ones.  Bimodal data is excluded:
+        the median of a two-mode set lies in the empty gap, where any
+        answer between the modes is equally valid."""
+        points = rng.normal(loc=5.0, scale=1.0, size=(500, 2))
+        unimodal_model = SerialKMeans(k=6, restarts=3, seed=0).fit(points)
+        histogram = MultivariateHistogram.from_model(points, unimodal_model)
+        for q in (0.25, 0.5, 0.75):
+            approx = histogram.quantile(0, q)
+            exact = float(np.quantile(points[:, 0], q))
+            assert abs(approx - exact) < 0.5
+
+    def test_quantile_extremes(self, blobs_2d, histogram):
+        assert histogram.quantile(0, 0.0) <= blobs_2d[:, 0].min() + 1.0
+        assert histogram.quantile(0, 1.0) >= blobs_2d[:, 0].max() - 1.0
+
+    def test_quantile_validation(self, histogram):
+        with pytest.raises(ValueError, match="q must"):
+            histogram.quantile(0, 1.5)
+
+
+class TestSamplingBaseline:
+    def test_sample_compress_shape(self, blobs_2d, rng):
+        from repro.compression.sampling import sample_compress
+
+        model = sample_compress(blobs_2d, 10, rng)
+        assert model.method == "random-sample"
+        assert model.k == 10
+        assert model.weights.sum() == pytest.approx(blobs_2d.shape[0])
+
+    def test_sample_clamped_to_n(self, rng):
+        from repro.compression.sampling import sample_compress
+
+        points = np.random.default_rng(0).normal(size=(5, 2))
+        model = sample_compress(points, 40, rng)
+        assert model.k == 5
+
+    def test_sample_rejects_bad_k(self, blobs_2d, rng):
+        from repro.compression.sampling import sample_compress
+
+        with pytest.raises(ValueError, match="k must"):
+            sample_compress(blobs_2d, 0, rng)
+
+    def test_sampled_points_are_data_rows(self, blobs_2d, rng):
+        from repro.compression.sampling import sample_compress
+
+        model = sample_compress(blobs_2d, 8, rng)
+        for row in model.centroids:
+            assert any(np.allclose(row, p) for p in blobs_2d)
+
+    def test_clustering_beats_sampling_on_distortion(self, blobs_2d, rng):
+        from repro.compression.sampling import sample_compress
+        from repro.core.quality import mse
+
+        sampled = sample_compress(blobs_2d, 4, rng)
+        clustered = SerialKMeans(k=4, restarts=3, seed=0).fit(blobs_2d)
+        assert mse(blobs_2d, clustered.centroids) <= sampled.mse

@@ -1,0 +1,167 @@
+"""Tests for the global summary and histogram serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.serial import SerialKMeans
+from repro.compression.global_summary import GlobalSummary, Region
+from repro.compression.histogram import MultivariateHistogram
+from repro.compression.serialization import (
+    HistogramFormatError,
+    read_histogram_file,
+    read_summary_dir,
+    write_histogram_file,
+    write_summary_dir,
+)
+from repro.data.generator import generate_cell_points
+from repro.data.gridcell import GridCellId
+
+
+def _histogram(points: np.ndarray, k: int = 6) -> MultivariateHistogram:
+    model = SerialKMeans(k=k, restarts=2, seed=0).fit(points)
+    return MultivariateHistogram.from_model(points, model)
+
+
+@pytest.fixture
+def summary() -> tuple[GlobalSummary, dict[GridCellId, np.ndarray]]:
+    cells = {
+        GridCellId(10, 20): generate_cell_points(400, seed=1),
+        GridCellId(11, 20): generate_cell_points(300, seed=2),
+        GridCellId(-5, 100): generate_cell_points(200, seed=3),
+    }
+    built = GlobalSummary(dim=6)
+    for cell_id, points in cells.items():
+        built.add_cell(cell_id, _histogram(points))
+    return built, cells
+
+
+class TestRegion:
+    def test_contains_cell(self):
+        region = Region(9.5, 12.0, 19.0, 21.0)
+        assert region.contains_cell(GridCellId(10, 20))
+        assert not region.contains_cell(GridCellId(-5, 100))
+
+    def test_globe_contains_everything(self):
+        globe = Region.globe()
+        assert globe.contains_cell(GridCellId(-90, -180))
+        assert globe.contains_cell(GridCellId(89, 179))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="lat_min"):
+            Region(10, 5, 0, 1)
+        with pytest.raises(ValueError, match="lon_min"):
+            Region(0, 1, 10, 5)
+
+
+class TestGlobalSummary:
+    def test_counts(self, summary):
+        built, cells = summary
+        assert len(built) == 3
+        assert built.total_count() == pytest.approx(900)
+
+    def test_regional_count(self, summary):
+        built, cells = summary
+        region = Region(9.0, 12.0, 19.0, 21.0)
+        assert built.total_count(region) == pytest.approx(700)
+        assert built.cells_in(region) == [GridCellId(10, 20), GridCellId(11, 20)]
+
+    def test_global_mean_exact(self, summary):
+        """Count-weighted centroid mean reproduces the true global mean."""
+        built, cells = summary
+        raw = np.vstack(list(cells.values()))
+        np.testing.assert_allclose(built.mean(), raw.mean(axis=0), rtol=1e-9)
+
+    def test_regional_mean(self, summary):
+        built, cells = summary
+        region = Region(-6.0, -4.0, 99.0, 101.0)
+        raw = cells[GridCellId(-5, 100)]
+        np.testing.assert_allclose(
+            built.mean(region), raw.mean(axis=0), rtol=1e-9
+        )
+
+    def test_mean_empty_region_raises(self, summary):
+        built, __ = summary
+        with pytest.raises(ValueError, match="no cells"):
+            built.mean(Region(80, 85, 0, 1))
+
+    def test_estimate_count_whole_domain(self, summary):
+        built, cells = summary
+        raw = np.vstack(list(cells.values()))
+        lo = raw.min(axis=0) - 1
+        hi = raw.max(axis=0) + 1
+        assert built.estimate_count(lo, hi) == pytest.approx(900, rel=1e-9)
+
+    def test_coverage_grid(self, summary):
+        built, __ = summary
+        grid = built.coverage_grid("count")
+        assert grid.shape == (180, 360)
+        assert grid[10 + 90, 20 + 180] == pytest.approx(400)
+        assert grid.sum() == pytest.approx(900)
+        with pytest.raises(ValueError, match="unknown statistic"):
+            built.coverage_grid("variance")
+
+    def test_compression_ratio(self, summary):
+        built, __ = summary
+        assert built.compression_ratio() > 1.0
+
+    def test_dim_mismatch_rejected(self):
+        built = GlobalSummary(dim=4)
+        histogram = _histogram(generate_cell_points(100, seed=0))
+        with pytest.raises(ValueError, match="dim"):
+            built.add_cell(GridCellId(0, 0), histogram)
+
+
+class TestSerialization:
+    def test_roundtrip_single_file(self, tmp_path):
+        points = generate_cell_points(300, seed=5)
+        histogram = _histogram(points)
+        cell_id = GridCellId(-33, 151)
+        path = write_histogram_file(tmp_path / "cell.mvh", cell_id, histogram)
+        loaded_id, loaded = read_histogram_file(path)
+        assert loaded_id == cell_id
+        assert len(loaded.buckets) == len(histogram.buckets)
+        for original, restored in zip(histogram.buckets, loaded.buckets):
+            np.testing.assert_array_equal(restored.centroid, original.centroid)
+            assert restored.count == original.count
+            np.testing.assert_array_equal(restored.lower, original.lower)
+            np.testing.assert_array_equal(restored.upper, original.upper)
+
+    def test_roundtrip_summary_dir(self, tmp_path, summary):
+        built, __ = summary
+        paths = write_summary_dir(tmp_path / "mvh", built)
+        assert len(paths) == 3
+        loaded = read_summary_dir(tmp_path / "mvh", dim=6)
+        assert len(loaded) == 3
+        assert loaded.total_count() == pytest.approx(built.total_count())
+        np.testing.assert_allclose(loaded.mean(), built.mean())
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.mvh"
+        path.write_bytes(b"XXXX" + b"\x00" * 32)
+        with pytest.raises(HistogramFormatError, match="magic"):
+            read_histogram_file(path)
+
+    def test_truncated_payload(self, tmp_path):
+        points = generate_cell_points(200, seed=6)
+        path = write_histogram_file(
+            tmp_path / "cell.mvh", GridCellId(0, 0), _histogram(points)
+        )
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-8])
+        with pytest.raises(HistogramFormatError, match="payload"):
+            read_histogram_file(path)
+
+    def test_queries_survive_roundtrip(self, tmp_path):
+        points = generate_cell_points(500, seed=7)
+        histogram = _histogram(points, k=8)
+        path = write_histogram_file(
+            tmp_path / "cell.mvh", GridCellId(0, 0), histogram
+        )
+        __, loaded = read_histogram_file(path)
+        lo = points.min(axis=0)
+        hi = points.mean(axis=0)
+        assert loaded.estimate_count(lo, hi) == pytest.approx(
+            histogram.estimate_count(lo, hi)
+        )

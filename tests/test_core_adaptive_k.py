@@ -1,0 +1,66 @@
+"""Tests for the ECVQ-based adaptive-k partial/merge pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive_k import EcvqPartialMergeKMeans
+
+
+class TestEcvqPartialMergeKMeans:
+    def test_report_structure(self, blobs_6d):
+        report = EcvqPartialMergeKMeans(
+            k=5, lam=0.5, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        assert report.model.method == "ecvq-partial/merge"
+        assert report.model.partitions == 4
+        assert len(report.effective_ks) == 4
+        assert report.model.k <= 5
+
+    def test_mass_conserved(self, blobs_6d):
+        report = EcvqPartialMergeKMeans(
+            k=5, lam=0.5, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        assert report.model.weights.sum() == pytest.approx(blobs_6d.shape[0])
+
+    def test_adaptive_ks_at_most_max_k(self, blobs_6d):
+        report = EcvqPartialMergeKMeans(
+            k=5, max_k=12, lam=1.0, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        assert all(1 <= ek <= 12 for ek in report.effective_ks)
+
+    def test_harsher_lambda_prunes_more(self, blobs_6d):
+        gentle = EcvqPartialMergeKMeans(
+            k=5, max_k=16, lam=0.0, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        harsh = EcvqPartialMergeKMeans(
+            k=5, max_k=16, lam=50.0, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        assert np.mean(harsh.effective_ks) <= np.mean(gentle.effective_ks)
+
+    def test_quality_comparable_to_fixed_k(self, blobs_6d):
+        from repro.core.pipeline import PartialMergeKMeans
+
+        adaptive = EcvqPartialMergeKMeans(
+            k=5, lam=0.2, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        fixed = PartialMergeKMeans(
+            k=5, restarts=3, n_chunks=4, seed=0
+        ).fit(blobs_6d)
+        assert adaptive.model.mse < fixed.model.mse * 4 + 1.0
+
+    def test_fit_chunks_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one chunk"):
+            EcvqPartialMergeKMeans(k=3).fit_chunks([])
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must"):
+            EcvqPartialMergeKMeans(k=0)
+        with pytest.raises(ValueError, match="max_k"):
+            EcvqPartialMergeKMeans(k=5, max_k=3)
+
+    def test_deterministic(self, blobs_6d):
+        a = EcvqPartialMergeKMeans(k=5, lam=0.5, n_chunks=3, seed=7).fit(blobs_6d)
+        b = EcvqPartialMergeKMeans(k=5, lam=0.5, n_chunks=3, seed=7).fit(blobs_6d)
+        np.testing.assert_array_equal(a.model.centroids, b.model.centroids)

@@ -1,0 +1,83 @@
+"""Tests for model invariant checks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.checks import ModelValidationError, validate_model
+from repro.core.model import ClusterModel
+from repro.core.pipeline import PartialMergeKMeans
+
+
+def _model(centroids, weights) -> ClusterModel:
+    return ClusterModel(
+        centroids=np.asarray(centroids, dtype=float),
+        weights=np.asarray(weights, dtype=float),
+        mse=1.0,
+        method="test",
+    )
+
+
+class TestValidateModel:
+    def test_valid_model_passes(self, blobs_2d):
+        report = PartialMergeKMeans(k=4, restarts=2, n_chunks=4, seed=0).fit(
+            blobs_2d
+        )
+        outcome = validate_model(
+            report.model,
+            points=blobs_2d,
+            expected_mass=blobs_2d.shape[0],
+        )
+        assert outcome.ok
+
+    def test_mass_conservation_violation(self):
+        model = _model([[0.0, 0.0]], [5.0])
+        with pytest.raises(ModelValidationError, match="mass not conserved"):
+            validate_model(model, expected_mass=10.0)
+
+    def test_support_violation(self):
+        points = np.zeros((10, 2))
+        model = _model([[100.0, 100.0]], [10.0])
+        with pytest.raises(ModelValidationError, match="bounding box"):
+            validate_model(model, points=points)
+
+    def test_support_margin_allows_slack(self):
+        points = np.zeros((10, 2))
+        model = _model([[0.5, 0.5]], [10.0])
+        outcome = validate_model(model, points=points, support_margin=1.0)
+        assert outcome.ok
+
+    def test_dimension_mismatch(self):
+        model = _model([[0.0, 0.0, 0.0]], [1.0])
+        with pytest.raises(ModelValidationError, match="dimensionality"):
+            validate_model(model, points=np.zeros((5, 2)))
+
+    def test_collapsed_centroids_detected(self):
+        model = _model([[0.0, 0.0], [1e-9, 0.0]], [1.0, 1.0])
+        with pytest.raises(ModelValidationError, match="collapsed"):
+            validate_model(model, min_centroid_separation=1e-3)
+
+    def test_separated_centroids_pass(self):
+        model = _model([[0.0, 0.0], [5.0, 0.0]], [1.0, 1.0])
+        outcome = validate_model(model, min_centroid_separation=1.0)
+        assert outcome.ok
+
+    def test_report_mode_collects_without_raising(self):
+        model = _model([[100.0, 100.0]], [5.0])
+        outcome = validate_model(
+            model,
+            points=np.zeros((4, 2)),
+            expected_mass=10.0,
+            raise_on_failure=False,
+        )
+        assert not outcome.ok
+        assert len(outcome.violations) == 2
+
+    def test_centroid_is_convex_combination_invariant(self, blobs_6d):
+        """Margin-zero support check holds for any real k-means output."""
+        report = PartialMergeKMeans(k=6, restarts=2, n_chunks=3, seed=1).fit(
+            blobs_6d
+        )
+        outcome = validate_model(report.model, points=blobs_6d)
+        assert outcome.ok

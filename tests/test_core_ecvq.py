@@ -1,0 +1,58 @@
+"""Unit tests for entropy-constrained VQ."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ecvq import ecvq
+
+
+class TestEcvq:
+    def test_lambda_zero_behaves_like_kmeans(self, blobs_2d, rng):
+        result = ecvq(blobs_2d, max_k=8, lam=0.0, rng=rng)
+        assert result.effective_k >= 4
+        assert result.mse < 5.0
+
+    def test_large_lambda_prunes_codebook(self, blobs_2d):
+        gentle = ecvq(blobs_2d, max_k=16, lam=0.0, rng=np.random.default_rng(0))
+        harsh = ecvq(blobs_2d, max_k=16, lam=50.0, rng=np.random.default_rng(0))
+        assert harsh.effective_k <= gentle.effective_k
+
+    def test_weights_sum_to_mass(self, blobs_2d, rng):
+        result = ecvq(blobs_2d, max_k=10, lam=1.0, rng=rng)
+        assert result.summary.total_weight == pytest.approx(blobs_2d.shape[0])
+
+    def test_rate_bounded_by_log_k(self, blobs_2d, rng):
+        result = ecvq(blobs_2d, max_k=12, lam=0.5, rng=rng)
+        assert 0.0 <= result.rate_bits <= np.log2(max(2, result.effective_k)) + 1e-9
+
+    def test_effective_k_at_least_one(self, rng):
+        points = np.ones((20, 2))  # fully degenerate data
+        result = ecvq(points, max_k=8, lam=10.0, rng=rng)
+        assert result.effective_k >= 1
+        assert result.mse == pytest.approx(0.0, abs=1e-12)
+
+    def test_lagrangian_consistent(self, blobs_2d, rng):
+        result = ecvq(blobs_2d, max_k=8, lam=2.0, rng=rng)
+        assert result.lagrangian == pytest.approx(
+            result.mse + 2.0 * result.rate_bits
+        )
+
+    def test_rejects_bad_params(self, blobs_2d, rng):
+        with pytest.raises(ValueError, match="max_k"):
+            ecvq(blobs_2d, max_k=0, lam=1.0, rng=rng)
+        with pytest.raises(ValueError, match="lam"):
+            ecvq(blobs_2d, max_k=4, lam=-1.0, rng=rng)
+
+    def test_weighted_input(self, rng):
+        points = np.array([[0.0], [1.0], [10.0]])
+        weights = np.array([10.0, 10.0, 1.0])
+        result = ecvq(points, max_k=3, lam=0.0, rng=rng, weights=weights)
+        assert result.summary.total_weight == pytest.approx(21.0)
+
+    def test_deterministic(self, blobs_6d):
+        a = ecvq(blobs_6d, max_k=10, lam=1.0, rng=np.random.default_rng(4))
+        b = ecvq(blobs_6d, max_k=10, lam=1.0, rng=np.random.default_rng(4))
+        np.testing.assert_array_equal(a.summary.centroids, b.summary.centroids)
+        assert a.effective_k == b.effective_k

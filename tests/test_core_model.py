@@ -1,0 +1,186 @@
+"""Unit tests for repro.core.model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import (
+    ClusterModel,
+    KMeansResult,
+    WeightedCentroidSet,
+    as_points,
+    as_weights,
+)
+
+
+class TestAsPoints:
+    def test_coerces_list_to_float64(self):
+        arr = as_points([[1, 2], [3, 4]])
+        assert arr.dtype == np.float64
+        assert arr.shape == (2, 2)
+
+    def test_promotes_1d_to_column(self):
+        arr = as_points([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+
+    def test_is_c_contiguous(self):
+        base = np.asfortranarray(np.ones((4, 3)))
+        assert as_points(base).flags["C_CONTIGUOUS"]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one row"):
+            as_points(np.empty((0, 3)))
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-dimensional"):
+            as_points(np.ones((2, 2, 2)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_points([[1.0, np.nan]])
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_points([[np.inf, 0.0]])
+
+
+class TestAsWeights:
+    def test_none_gives_unit_weights(self):
+        wts = as_weights(None, 5)
+        assert wts.shape == (5,)
+        assert (wts == 1.0).all()
+
+    def test_accepts_valid_weights(self):
+        wts = as_weights([1.0, 2.0, 3.0], 3)
+        assert wts.sum() == 6.0
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="shape"):
+            as_weights([1.0, 2.0], 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            as_weights([1.0, -0.5], 2)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="positive total"):
+            as_weights([0.0, 0.0], 2)
+
+    def test_rejects_nan_weight(self):
+        with pytest.raises(ValueError, match="finite"):
+            as_weights([1.0, np.nan], 2)
+
+    def test_allows_some_zero_weights(self):
+        wts = as_weights([0.0, 2.0], 2)
+        assert wts[0] == 0.0
+
+
+class TestWeightedCentroidSet:
+    def test_basic_properties(self):
+        wcs = WeightedCentroidSet(
+            centroids=np.array([[0.0, 0.0], [1.0, 1.0]]),
+            weights=np.array([3.0, 1.0]),
+            source="P0",
+        )
+        assert wcs.k == 2
+        assert wcs.dim == 2
+        assert wcs.total_weight == 4.0
+        assert wcs.source == "P0"
+
+    def test_mean_is_weighted(self):
+        wcs = WeightedCentroidSet(
+            centroids=np.array([[0.0], [4.0]]), weights=np.array([3.0, 1.0])
+        )
+        assert wcs.mean() == pytest.approx([1.0])
+
+    def test_weight_count_must_match_centroids(self):
+        with pytest.raises(ValueError):
+            WeightedCentroidSet(
+                centroids=np.ones((3, 2)), weights=np.array([1.0, 2.0])
+            )
+
+    def test_concatenate_pools_everything(self):
+        a = WeightedCentroidSet(np.ones((2, 3)), np.array([1.0, 2.0]))
+        b = WeightedCentroidSet(np.zeros((3, 3)), np.array([1.0, 1.0, 1.0]))
+        merged = WeightedCentroidSet.concatenate([a, b])
+        assert merged.k == 5
+        assert merged.total_weight == 6.0
+
+    def test_concatenate_rejects_empty_list(self):
+        with pytest.raises(ValueError, match="empty list"):
+            WeightedCentroidSet.concatenate([])
+
+    def test_concatenate_rejects_mixed_dims(self):
+        a = WeightedCentroidSet(np.ones((2, 3)), np.ones(2))
+        b = WeightedCentroidSet(np.ones((2, 4)), np.ones(2))
+        with pytest.raises(ValueError, match="mixed dimensionality"):
+            WeightedCentroidSet.concatenate([a, b])
+
+    def test_frozen(self):
+        wcs = WeightedCentroidSet(np.ones((1, 2)), np.ones(1))
+        with pytest.raises(AttributeError):
+            wcs.source = "other"
+
+
+class TestKMeansResult:
+    def _result(self) -> KMeansResult:
+        return KMeansResult(
+            centroids=np.array([[0.0, 0.0], [5.0, 5.0], [9.0, 9.0]]),
+            assignments=np.array([0, 0, 1]),
+            cluster_weights=np.array([2.0, 1.0, 0.0]),
+            sse=1.5,
+            mse=0.5,
+            iterations=4,
+            converged=True,
+        )
+
+    def test_k(self):
+        assert self._result().k == 3
+
+    def test_to_weighted_set_drops_empty_clusters(self):
+        summary = self._result().to_weighted_set(source="P1")
+        assert summary.k == 2
+        assert summary.total_weight == 3.0
+        assert summary.source == "P1"
+
+    def test_to_weighted_set_keeps_coordinates(self):
+        summary = self._result().to_weighted_set()
+        np.testing.assert_allclose(
+            summary.centroids, [[0.0, 0.0], [5.0, 5.0]]
+        )
+
+
+class TestClusterModel:
+    def test_defaults(self):
+        model = ClusterModel(
+            centroids=np.ones((2, 3)),
+            weights=np.ones(2),
+            mse=1.0,
+            method="test",
+        )
+        assert model.partitions == 1
+        assert model.total_seconds == 0.0
+        assert model.extra == {}
+        assert model.k == 2
+        assert model.dim == 3
+
+    def test_to_weighted_set_carries_method(self):
+        model = ClusterModel(
+            centroids=np.ones((2, 3)),
+            weights=np.array([2.0, 4.0]),
+            mse=1.0,
+            method="serial",
+        )
+        summary = model.to_weighted_set()
+        assert summary.source == "serial"
+        assert summary.total_weight == 6.0
+
+    def test_validates_weights(self):
+        with pytest.raises(ValueError):
+            ClusterModel(
+                centroids=np.ones((2, 3)),
+                weights=np.array([1.0]),
+                mse=0.0,
+                method="bad",
+            )

@@ -1,0 +1,122 @@
+"""Unit tests for repro.core.quality."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.quality import (
+    assign_to_nearest,
+    cluster_sizes,
+    davies_bouldin,
+    mse,
+    pairwise_sq_distances,
+    quantization_error_profile,
+    sse,
+)
+
+
+class TestPairwiseSqDistances:
+    def test_known_values(self):
+        points = np.array([[0.0, 0.0], [3.0, 4.0]])
+        centroids = np.array([[0.0, 0.0]])
+        d2 = pairwise_sq_distances(points, centroids)
+        np.testing.assert_allclose(d2, [[0.0], [25.0]])
+
+    def test_shape(self):
+        d2 = pairwise_sq_distances(np.ones((5, 3)), np.zeros((2, 3)))
+        assert d2.shape == (5, 2)
+
+
+class TestAssignToNearest:
+    def test_assigns_to_closest(self):
+        points = np.array([[0.1], [0.9], [2.1]])
+        centroids = np.array([[0.0], [1.0], [2.0]])
+        assignments, sq = assign_to_nearest(points, centroids)
+        np.testing.assert_array_equal(assignments, [0, 1, 2])
+        np.testing.assert_allclose(sq, [0.01, 0.01, 0.01])
+
+    def test_tie_goes_to_first(self):
+        points = np.array([[0.5]])
+        centroids = np.array([[0.0], [1.0]])
+        assignments, __ = assign_to_nearest(points, centroids)
+        assert assignments[0] == 0
+
+
+class TestSseMse:
+    def test_sse_unit_weights(self):
+        points = np.array([[0.0], [2.0]])
+        centroids = np.array([[0.0]])
+        assert sse(points, centroids) == pytest.approx(4.0)
+
+    def test_sse_respects_weights(self):
+        points = np.array([[0.0], [2.0]])
+        centroids = np.array([[0.0]])
+        assert sse(points, centroids, weights=np.array([1.0, 3.0])) == pytest.approx(
+            12.0
+        )
+
+    def test_mse_normalises_by_mass(self):
+        points = np.array([[0.0], [2.0]])
+        centroids = np.array([[0.0]])
+        assert mse(points, centroids, weights=np.array([1.0, 3.0])) == pytest.approx(
+            3.0
+        )
+
+    def test_perfect_model_scores_zero(self):
+        points = np.array([[1.0, 2.0], [3.0, 4.0]])
+        assert mse(points, points) == 0.0
+
+    def test_mse_with_unit_weights_matches_mean(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(50, 3))
+        centroids = rng.normal(size=(4, 3))
+        __, sq = assign_to_nearest(points, centroids)
+        assert mse(points, centroids) == pytest.approx(sq.mean())
+
+
+class TestClusterSizes:
+    def test_counts_points(self):
+        points = np.array([[0.0], [0.1], [5.0]])
+        centroids = np.array([[0.0], [5.0]])
+        sizes = cluster_sizes(points, centroids)
+        np.testing.assert_allclose(sizes, [2.0, 1.0])
+
+    def test_empty_cluster_counts_zero(self):
+        points = np.array([[0.0], [0.1]])
+        centroids = np.array([[0.0], [99.0]])
+        sizes = cluster_sizes(points, centroids)
+        assert sizes[1] == 0.0
+
+    def test_weighted_sizes(self):
+        points = np.array([[0.0], [5.0]])
+        centroids = np.array([[0.0], [5.0]])
+        sizes = cluster_sizes(points, centroids, weights=np.array([2.5, 4.0]))
+        np.testing.assert_allclose(sizes, [2.5, 4.0])
+
+
+class TestQuantizationErrorProfile:
+    def test_keys_and_order(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(size=(100, 2))
+        profile = quantization_error_profile(points, np.zeros((1, 2)))
+        assert set(profile) == {"mean", "median", "p95", "max"}
+        assert profile["median"] <= profile["p95"] <= profile["max"]
+
+    def test_zero_for_perfect_codebook(self):
+        points = np.array([[1.0, 1.0], [2.0, 2.0]])
+        profile = quantization_error_profile(points, points)
+        assert profile["max"] == 0.0
+
+
+class TestDaviesBouldin:
+    def test_well_separated_blobs_score_low(self, blobs_2d, blob_centers_2d):
+        good = davies_bouldin(blobs_2d, blob_centers_2d)
+        collapsed = davies_bouldin(
+            blobs_2d, np.array([[5.0, 5.0], [5.1, 5.1], [4.9, 4.9], [5.0, 4.9]])
+        )
+        assert good < collapsed
+
+    def test_single_occupied_cluster_scores_zero(self):
+        points = np.ones((10, 2))
+        assert davies_bouldin(points, np.array([[1.0, 1.0], [50.0, 50.0]])) == 0.0

@@ -1,0 +1,55 @@
+"""Unit tests for the multi-restart driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.restarts import best_of_restarts
+
+
+class TestBestOfRestarts:
+    def test_best_is_minimum_mse(self, blobs_2d, rng):
+        report = best_of_restarts(blobs_2d, 4, restarts=5, rng=rng)
+        assert report.best.mse == pytest.approx(min(report.mses))
+        assert report.mses[report.best_index] == pytest.approx(report.best.mse)
+
+    def test_records_one_entry_per_restart(self, blobs_2d, rng):
+        report = best_of_restarts(blobs_2d, 4, restarts=7, rng=rng)
+        assert len(report.mses) == 7
+        assert len(report.iteration_counts) == 7
+
+    def test_total_iterations_sums(self, blobs_2d, rng):
+        report = best_of_restarts(blobs_2d, 4, restarts=3, rng=rng)
+        assert report.total_iterations == sum(report.iteration_counts)
+
+    def test_more_restarts_never_hurt(self, blobs_6d):
+        few = best_of_restarts(
+            blobs_6d, 8, restarts=1, rng=np.random.default_rng(0)
+        )
+        many = best_of_restarts(
+            blobs_6d, 8, restarts=8, rng=np.random.default_rng(0)
+        )
+        # Same generator stream: the first run of `many` equals `few`'s
+        # only run, so the min can only improve.
+        assert many.best.mse <= few.best.mse + 1e-12
+
+    def test_rejects_zero_restarts(self, blobs_2d, rng):
+        with pytest.raises(ValueError, match="restarts"):
+            best_of_restarts(blobs_2d, 4, restarts=0, rng=rng)
+
+    def test_weighted_restarts(self, rng):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        weights = np.array([5.0, 5.0, 1.0, 1.0])
+        report = best_of_restarts(points, 2, restarts=4, rng=rng, weights=weights)
+        assert report.best.cluster_weights.sum() == pytest.approx(12.0)
+
+    def test_kmeans_plus_plus_strategy(self, blobs_2d, rng):
+        report = best_of_restarts(
+            blobs_2d, 4, restarts=2, rng=rng, seeding="kmeans++"
+        )
+        assert report.best.k == 4
+
+    def test_unknown_strategy_raises(self, blobs_2d, rng):
+        with pytest.raises(ValueError, match="unknown seeding"):
+            best_of_restarts(blobs_2d, 4, restarts=1, rng=rng, seeding="bogus")

@@ -1,0 +1,138 @@
+"""Unit tests for repro.core.seeding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.seeding import (
+    distinct_random_seeds,
+    kmeans_plus_plus_seeds,
+    largest_weight_seeds,
+    random_seeds,
+    resolve_strategy,
+)
+
+
+def _rows_in(points: np.ndarray, candidates: np.ndarray) -> bool:
+    """Every row of ``candidates`` appears in ``points``."""
+    return all(any(np.allclose(row, p) for p in points) for row in candidates)
+
+
+class TestRandomSeeds:
+    def test_seeds_are_data_points(self, rng, blobs_2d):
+        seeds = random_seeds(blobs_2d, 5, rng)
+        assert seeds.shape == (5, 2)
+        assert _rows_in(blobs_2d, seeds)
+
+    def test_no_replacement(self, rng):
+        points = np.arange(10, dtype=float).reshape(-1, 1)
+        seeds = random_seeds(points, 10, rng)
+        assert len(np.unique(seeds)) == 10
+
+    def test_k_clamped_to_n(self, rng):
+        points = np.ones((3, 2))
+        seeds = random_seeds(points, 10, rng)
+        assert seeds.shape == (3, 2)
+
+    def test_rejects_k_zero(self, rng):
+        with pytest.raises(ValueError, match="k must be >= 1"):
+            random_seeds(np.ones((3, 2)), 0, rng)
+
+    def test_deterministic_given_seed(self, blobs_2d):
+        a = random_seeds(blobs_2d, 4, np.random.default_rng(5))
+        b = random_seeds(blobs_2d, 4, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_returns_copy(self, rng):
+        points = np.arange(8, dtype=float).reshape(-1, 2)
+        seeds = random_seeds(points, 2, rng)
+        seeds[:] = -1
+        assert (points >= 0).all()
+
+
+class TestDistinctRandomSeeds:
+    def test_duplicated_data_yields_distinct_seeds(self, rng):
+        points = np.repeat(np.arange(5, dtype=float).reshape(-1, 1), 20, axis=0)
+        seeds = distinct_random_seeds(points, 5, rng)
+        assert len(np.unique(seeds)) == 5
+
+    def test_falls_back_when_too_few_distinct(self, rng):
+        points = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+        seeds = distinct_random_seeds(points, 5, rng)
+        assert seeds.shape[0] == 5  # fallback samples with coincidences
+
+    def test_normal_data_behaves_like_random(self, rng, blobs_2d):
+        seeds = distinct_random_seeds(blobs_2d, 6, rng)
+        assert seeds.shape == (6, 2)
+        assert _rows_in(blobs_2d, seeds)
+
+
+class TestLargestWeightSeeds:
+    def test_picks_heaviest(self):
+        points = np.arange(5, dtype=float).reshape(-1, 1)
+        weights = np.array([1.0, 9.0, 3.0, 7.0, 5.0])
+        seeds = largest_weight_seeds(points, 2, weights)
+        np.testing.assert_allclose(sorted(seeds.ravel()), [1.0, 3.0])
+
+    def test_tie_broken_by_input_order(self):
+        points = np.arange(4, dtype=float).reshape(-1, 1)
+        weights = np.array([2.0, 2.0, 2.0, 2.0])
+        seeds = largest_weight_seeds(points, 2, weights)
+        np.testing.assert_allclose(seeds.ravel(), [0.0, 1.0])
+
+    def test_k_clamped(self):
+        points = np.ones((2, 3))
+        seeds = largest_weight_seeds(points, 5, np.array([1.0, 2.0]))
+        assert seeds.shape == (2, 3)
+
+    def test_deterministic(self):
+        points = np.random.default_rng(0).normal(size=(30, 4))
+        weights = np.random.default_rng(1).uniform(size=30)
+        a = largest_weight_seeds(points, 7, weights)
+        b = largest_weight_seeds(points, 7, weights)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestKMeansPlusPlus:
+    def test_shape_and_membership(self, rng, blobs_2d):
+        seeds = kmeans_plus_plus_seeds(blobs_2d, 4, rng)
+        assert seeds.shape == (4, 2)
+        assert _rows_in(blobs_2d, seeds)
+
+    def test_spreads_across_blobs(self, blobs_2d, blob_centers_2d):
+        # With well-separated blobs, k-means++ should hit all four corners
+        # almost always; check over a few trials.
+        hits = 0
+        for trial in range(5):
+            seeds = kmeans_plus_plus_seeds(
+                blobs_2d, 4, np.random.default_rng(trial)
+            )
+            assigned = {
+                int(np.argmin(((blob_centers_2d - s) ** 2).sum(axis=1)))
+                for s in seeds
+            }
+            hits += len(assigned) == 4
+        assert hits >= 4
+
+    def test_handles_all_identical_points(self, rng):
+        points = np.ones((10, 2))
+        seeds = kmeans_plus_plus_seeds(points, 3, rng)
+        assert seeds.shape == (3, 2)
+
+    def test_weight_aware(self, rng):
+        points = np.array([[0.0], [100.0]])
+        seeds = kmeans_plus_plus_seeds(
+            points, 1, rng, weights=np.array([1e9, 1e-9])
+        )
+        assert seeds[0, 0] == 0.0
+
+
+class TestResolveStrategy:
+    @pytest.mark.parametrize("name", ["random", "distinct", "kmeans++"])
+    def test_known_strategies(self, name):
+        assert callable(resolve_strategy(name))
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown seeding strategy"):
+            resolve_strategy("weights")

@@ -1,0 +1,65 @@
+"""Unit tests for the canned experiment datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.datasets import (
+    PAPER_CELL_SIZES,
+    PAPER_K,
+    PAPER_RESTARTS,
+    build_paper_cells,
+    scaled_sizes,
+)
+
+
+class TestPaperConstants:
+    def test_table2_sizes(self):
+        assert PAPER_CELL_SIZES == (250, 2_500, 12_500, 25_000, 50_000, 75_000)
+
+    def test_k_and_restarts(self):
+        assert PAPER_K == 40
+        assert PAPER_RESTARTS == 10
+
+
+class TestScaledSizes:
+    def test_identity_scale(self):
+        assert scaled_sizes(1.0) == PAPER_CELL_SIZES
+
+    def test_downscale_preserves_order(self):
+        sizes = scaled_sizes(0.1)
+        assert sizes == tuple(sorted(sizes))
+        assert sizes[-1] == 7_500
+
+    def test_floor_at_50(self):
+        assert scaled_sizes(0.0001)[0] == 50
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="scale"):
+            scaled_sizes(0.0)
+
+
+class TestBuildPaperCells:
+    def test_grid_shape(self):
+        cells = build_paper_cells(sizes=(100, 200), n_versions=3)
+        assert len(cells) == 6
+        assert {c.n_points for c in cells} == {100, 200}
+        assert {c.version for c in cells} == {0, 1, 2}
+
+    def test_points_match_declared_size(self):
+        cells = build_paper_cells(sizes=(150,), n_versions=2)
+        for cell in cells:
+            assert cell.points.shape == (150, 6)
+
+    def test_versions_are_distinct_datasets(self):
+        import numpy as np
+
+        cells = build_paper_cells(sizes=(100,), n_versions=2)
+        assert not np.array_equal(cells[0].points, cells[1].points)
+
+    def test_deterministic(self):
+        import numpy as np
+
+        a = build_paper_cells(sizes=(100,), n_versions=1, base_seed=5)
+        b = build_paper_cells(sizes=(100,), n_versions=1, base_seed=5)
+        np.testing.assert_array_equal(a[0].points, b[0].points)

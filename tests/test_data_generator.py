@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic MISR data generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import (
+    MISR_DIM,
+    ComponentSpec,
+    MisrCellDistribution,
+    generate_cell_points,
+    generate_versions,
+    random_cell_distribution,
+)
+
+
+class TestComponentSpec:
+    def test_valid(self):
+        spec = ComponentSpec(
+            mean=np.zeros(3), cov=np.eye(3), weight=1.0
+        )
+        assert spec.mean.shape == (3,)
+
+    def test_rejects_cov_mismatch(self):
+        with pytest.raises(ValueError, match="cov shape"):
+            ComponentSpec(mean=np.zeros(3), cov=np.eye(2), weight=1.0)
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError, match="weight"):
+            ComponentSpec(mean=np.zeros(2), cov=np.eye(2), weight=0.0)
+
+
+class TestMisrCellDistribution:
+    def test_mixture_weights_normalised(self, rng):
+        distribution = random_cell_distribution(rng, n_components=4)
+        assert distribution.mixture_weights().sum() == pytest.approx(1.0)
+
+    def test_sample_shape(self, rng):
+        distribution = random_cell_distribution(rng, n_components=3)
+        points = distribution.sample(500, rng)
+        assert points.shape == (500, MISR_DIM)
+
+    def test_sample_rejects_zero(self, rng):
+        distribution = random_cell_distribution(rng)
+        with pytest.raises(ValueError, match="n must be"):
+            distribution.sample(0, rng)
+
+    def test_rejects_empty_components(self):
+        with pytest.raises(ValueError, match="at least one"):
+            MisrCellDistribution(components=())
+
+    def test_rejects_mixed_dims(self):
+        a = ComponentSpec(np.zeros(2), np.eye(2), 1.0)
+        b = ComponentSpec(np.zeros(3), np.eye(3), 1.0)
+        with pytest.raises(ValueError, match="mixed"):
+            MisrCellDistribution(components=(a, b))
+
+    def test_samples_are_multimodal(self, rng):
+        """Far-apart components must produce visibly separated samples."""
+        far = MisrCellDistribution(
+            components=(
+                ComponentSpec(np.zeros(2), np.eye(2) * 0.01, 1.0),
+                ComponentSpec(np.full(2, 100.0), np.eye(2) * 0.01, 1.0),
+            )
+        )
+        points = far.sample(200, rng)
+        near_origin = (np.abs(points) < 50).all(axis=1).sum()
+        assert 50 < near_origin < 150  # roughly half in each mode
+
+
+class TestRandomCellDistribution:
+    def test_default_component_range(self, rng):
+        distribution = random_cell_distribution(rng)
+        assert 8 <= distribution.n_components <= 20
+
+    def test_covariances_positive_definite(self, rng):
+        distribution = random_cell_distribution(rng, n_components=5)
+        for component in distribution.components:
+            eigenvalues = np.linalg.eigvalsh(component.cov)
+            assert (eigenvalues > 0).all()
+
+    def test_rejects_bad_component_count(self, rng):
+        with pytest.raises(ValueError, match="n_components"):
+            random_cell_distribution(rng, n_components=0)
+
+
+class TestGenerateCellPoints:
+    def test_shape_and_dtype(self):
+        points = generate_cell_points(250, seed=1)
+        assert points.shape == (250, MISR_DIM)
+        assert points.dtype == np.float64
+
+    def test_deterministic(self):
+        a = generate_cell_points(100, seed=7)
+        b = generate_cell_points(100, seed=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = generate_cell_points(100, seed=7)
+        b = generate_cell_points(100, seed=8)
+        assert not np.array_equal(a, b)
+
+    def test_custom_dim(self):
+        points = generate_cell_points(50, seed=0, dim=4)
+        assert points.shape == (50, 4)
+
+    def test_finite(self):
+        points = generate_cell_points(1_000, seed=3)
+        assert np.isfinite(points).all()
+
+
+class TestGenerateVersions:
+    def test_version_count_and_shapes(self):
+        versions = generate_versions(200, 3, base_seed=0)
+        assert len(versions) == 3
+        assert all(v.shape == (200, MISR_DIM) for v in versions)
+
+    def test_versions_differ(self):
+        versions = generate_versions(200, 2, base_seed=0)
+        assert not np.array_equal(versions[0], versions[1])
+
+    def test_rejects_zero_versions(self):
+        with pytest.raises(ValueError, match="n_versions"):
+            generate_versions(100, 0, base_seed=0)

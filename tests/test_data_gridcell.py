@@ -1,0 +1,94 @@
+"""Unit tests for the grid-cell model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.gridcell import GridBucket, GridCell, GridCellId
+
+
+class TestGridCellId:
+    def test_valid_range(self):
+        cell = GridCellId(lat=45, lon=-120)
+        assert cell.lat == 45
+        assert cell.lon == -120
+
+    @pytest.mark.parametrize("lat", [-91, 90, 120])
+    def test_rejects_bad_lat(self, lat):
+        with pytest.raises(ValueError, match="lat"):
+            GridCellId(lat=lat, lon=0)
+
+    @pytest.mark.parametrize("lon", [-181, 180, 250])
+    def test_rejects_bad_lon(self, lon):
+        with pytest.raises(ValueError, match="lon"):
+            GridCellId(lat=0, lon=lon)
+
+    def test_containing_floors(self):
+        assert GridCellId.containing(45.7, -120.2) == GridCellId(45, -121)
+
+    def test_containing_wraps_longitude(self):
+        assert GridCellId.containing(0.5, 190.5) == GridCellId(0, -170)
+        assert GridCellId.containing(0.5, -190.5) == GridCellId(0, 169)
+
+    def test_containing_clamps_north_pole(self):
+        assert GridCellId.containing(90.0, 10.0).lat == 89
+
+    def test_contains_roundtrip(self):
+        cell = GridCellId.containing(12.3, 45.6)
+        assert cell.contains(12.3, 45.6)
+        assert not cell.contains(13.5, 45.6)
+
+    def test_key_roundtrip(self):
+        cell = GridCellId(lat=-33, lon=151)
+        assert GridCellId.from_key(cell.key) == cell
+
+    def test_from_key_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed"):
+            GridCellId.from_key("45-120")
+
+    def test_ordering_is_total(self):
+        cells = [GridCellId(1, 5), GridCellId(0, 9), GridCellId(1, -5)]
+        ordered = sorted(cells)
+        assert ordered[0] == GridCellId(0, 9)
+        assert ordered[1] == GridCellId(1, -5)
+
+
+class TestGridCell:
+    def test_properties(self):
+        cell = GridCell(GridCellId(0, 0), np.ones((10, 6)))
+        assert cell.n_points == 10
+        assert cell.dim == 6
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError):
+            GridCell(GridCellId(0, 0), np.empty((0, 6)))
+
+
+class TestGridBucket:
+    def test_accumulates_fragments(self):
+        bucket = GridBucket(cell_id=GridCellId(10, 20))
+        bucket.append(np.ones((5, 3)))
+        bucket.append(np.zeros((7, 3)))
+        assert bucket.n_points == 12
+
+    def test_freeze_stacks_in_order_without_rng(self):
+        bucket = GridBucket(cell_id=GridCellId(0, 0))
+        bucket.append(np.zeros((2, 1)))
+        bucket.append(np.ones((2, 1)))
+        cell = bucket.freeze()
+        np.testing.assert_allclose(cell.points.ravel(), [0, 0, 1, 1])
+
+    def test_freeze_shuffles_with_rng(self):
+        bucket = GridBucket(cell_id=GridCellId(0, 0))
+        bucket.append(np.arange(100, dtype=float).reshape(-1, 1))
+        cell = bucket.freeze(np.random.default_rng(0))
+        assert not np.array_equal(cell.points.ravel(), np.arange(100))
+        np.testing.assert_allclose(
+            np.sort(cell.points.ravel()), np.arange(100)
+        )
+
+    def test_freeze_empty_raises(self):
+        bucket = GridBucket(cell_id=GridCellId(0, 0))
+        with pytest.raises(ValueError, match="empty"):
+            bucket.freeze()

@@ -1,0 +1,139 @@
+"""Unit tests for the binary grid-bucket file format."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import (
+    GridBucketFormatError,
+    read_bucket_file,
+    read_bucket_header,
+    scan_bucket_dir,
+    stream_bucket_points,
+    write_bucket_dir,
+    write_bucket_file,
+)
+
+
+@pytest.fixture
+def cell(rng) -> GridCell:
+    return GridCell(
+        cell_id=GridCellId(lat=34, lon=-118),
+        points=rng.normal(size=(123, 6)),
+    )
+
+
+class TestRoundTrip:
+    def test_write_read_identical(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        loaded = read_bucket_file(path)
+        assert loaded.cell_id == cell.cell_id
+        np.testing.assert_array_equal(loaded.points, cell.points)
+
+    def test_header_only_read(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        cell_id, n_points, dim = read_bucket_header(path)
+        assert cell_id == cell.cell_id
+        assert (n_points, dim) == (123, 6)
+
+    def test_negative_coordinates_roundtrip(self, tmp_path, rng):
+        cell = GridCell(GridCellId(lat=-89, lon=-180), rng.normal(size=(5, 2)))
+        loaded = read_bucket_file(write_bucket_file(tmp_path / "s.gbk", cell))
+        assert loaded.cell_id == cell.cell_id
+
+
+class TestStreaming:
+    def test_chunks_reassemble_exactly(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        chunks = list(stream_bucket_points(path, chunk_points=50))
+        assert [c.shape[0] for c in chunks] == [50, 50, 23]
+        np.testing.assert_array_equal(np.vstack(chunks), cell.points)
+
+    def test_chunk_larger_than_file(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        chunks = list(stream_bucket_points(path, chunk_points=10_000))
+        assert len(chunks) == 1
+
+    def test_rejects_zero_chunk(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        with pytest.raises(ValueError, match="chunk_points"):
+            list(stream_bucket_points(path, chunk_points=0))
+
+    def test_streamed_chunks_are_writable_copies(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        chunk = next(stream_bucket_points(path, chunk_points=10))
+        chunk[:] = 0.0  # must not raise (frombuffer views are read-only)
+
+
+class TestCorruptionDetection:
+    def test_bad_magic(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        raw = bytearray(path.read_bytes())
+        raw[0:4] = b"XXXX"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GridBucketFormatError, match="magic"):
+            read_bucket_file(path)
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "short.gbk"
+        path.write_bytes(b"GBK1\x00\x00")
+        with pytest.raises(GridBucketFormatError, match="truncated header"):
+            read_bucket_header(path)
+
+    def test_truncated_payload(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-16])
+        with pytest.raises(GridBucketFormatError, match="payload"):
+            read_bucket_file(path)
+
+    def test_flipped_payload_bit_fails_checksum(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GridBucketFormatError, match="checksum"):
+            read_bucket_file(path)
+
+    def test_streaming_also_checks_checksum(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(GridBucketFormatError, match="checksum"):
+            list(stream_bucket_points(path, chunk_points=30))
+
+    def test_empty_bucket_header_rejected(self, tmp_path):
+        header = struct.Struct("<4siiQII").pack(b"GBK1", 0, 0, 0, 6, 0)
+        path = tmp_path / "empty.gbk"
+        path.write_bytes(header)
+        with pytest.raises(GridBucketFormatError, match="empty bucket"):
+            read_bucket_header(path)
+
+
+class TestDirectoryScan:
+    def test_write_and_scan_dir(self, tmp_path, rng):
+        cells = [
+            GridCell(GridCellId(lat, 10), rng.normal(size=(20, 3)))
+            for lat in (1, 2, 3)
+        ]
+        paths = write_bucket_dir(tmp_path / "buckets", cells)
+        assert len(paths) == 3
+        loaded = list(scan_bucket_dir(tmp_path / "buckets"))
+        assert {c.cell_id for c in loaded} == {c.cell_id for c in cells}
+
+    def test_scan_skips_non_gbk_files(self, tmp_path, rng):
+        target = tmp_path / "buckets"
+        write_bucket_dir(
+            target, [GridCell(GridCellId(0, 0), rng.normal(size=(5, 2)))]
+        )
+        (target / "notes.txt").write_text("not a bucket")
+        assert len(list(scan_bucket_dir(target))) == 1
+
+    def test_scan_empty_dir(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        assert list(scan_bucket_dir(tmp_path / "empty")) == []

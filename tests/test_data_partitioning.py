@@ -1,0 +1,124 @@
+"""Unit and property tests for partitioning strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.data.partitioning import (
+    RandomPartitioner,
+    SalamiPartitioner,
+    SpatialPartitioner,
+    make_partitioner,
+)
+
+ALL_NAMES = ("random", "spatial", "salami")
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_known_names(self, name):
+        assert make_partitioner(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            make_partitioner("striped")
+
+
+class TestCommonContract:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_exact_partition(self, name, blobs_2d):
+        chunks = make_partitioner(name, seed=0).split(blobs_2d, 5)
+        assert len(chunks) == 5
+        assert sum(c.shape[0] for c in chunks) == blobs_2d.shape[0]
+        recombined = np.sort(np.vstack(chunks), axis=0)
+        np.testing.assert_allclose(recombined, np.sort(blobs_2d, axis=0))
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_rejects_too_many_chunks(self, name):
+        with pytest.raises(ValueError, match="cannot split"):
+            make_partitioner(name, seed=0).split(np.ones((2, 2)), 3)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_rejects_zero_chunks(self, name):
+        with pytest.raises(ValueError, match="n_chunks"):
+            make_partitioner(name, seed=0).split(np.ones((5, 2)), 0)
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_single_chunk_is_whole_set(self, name, blobs_2d):
+        (chunk,) = make_partitioner(name, seed=0).split(blobs_2d, 1)
+        assert chunk.shape == blobs_2d.shape
+
+
+class TestRandomPartitioner:
+    def test_deterministic_given_seed(self, blobs_2d):
+        a = RandomPartitioner(seed=3).split(blobs_2d, 4)
+        b = RandomPartitioner(seed=3).split(blobs_2d, 4)
+        for chunk_a, chunk_b in zip(a, b):
+            np.testing.assert_array_equal(chunk_a, chunk_b)
+
+    def test_chunks_overlap_spatially(self, blobs_2d):
+        """The paper: random chunks' areas overlap >90%."""
+        chunks = RandomPartitioner(seed=0).split(blobs_2d, 5)
+        mins = np.array([c.min(axis=0) for c in chunks])
+        maxs = np.array([c.max(axis=0) for c in chunks])
+        # Every chunk must span nearly the full data range.
+        data_span = blobs_2d.max(axis=0) - blobs_2d.min(axis=0)
+        chunk_spans = maxs - mins
+        assert (chunk_spans > 0.8 * data_span).all()
+
+
+class TestSpatialPartitioner:
+    def test_chunks_are_disjoint_ranges(self, blobs_2d):
+        chunks = SpatialPartitioner(axis=0).split(blobs_2d, 4)
+        uppers = [c[:, 0].max() for c in chunks]
+        lowers = [c[:, 0].min() for c in chunks]
+        for i in range(3):
+            assert uppers[i] <= lowers[i + 1] + 1e-12
+
+    def test_axis_out_of_range(self, blobs_2d):
+        with pytest.raises(ValueError, match="axis 5 out of range"):
+            SpatialPartitioner(axis=5).split(blobs_2d, 2)
+
+    def test_negative_axis_rejected(self):
+        with pytest.raises(ValueError, match="axis"):
+            SpatialPartitioner(axis=-1)
+
+
+class TestSalamiPartitioner:
+    def test_interleaved_assignment(self):
+        points = np.arange(12, dtype=float).reshape(-1, 1)
+        chunks = SalamiPartitioner().split(points, 3)
+        np.testing.assert_allclose(chunks[0].ravel(), [0, 3, 6, 9])
+        np.testing.assert_allclose(chunks[1].ravel(), [1, 4, 7, 10])
+        np.testing.assert_allclose(chunks[2].ravel(), [2, 5, 8, 11])
+
+    def test_deterministic(self, blobs_2d):
+        a = SalamiPartitioner().split(blobs_2d, 4)
+        b = SalamiPartitioner().split(blobs_2d, 4)
+        for chunk_a, chunk_b in zip(a, b):
+            np.testing.assert_array_equal(chunk_a, chunk_b)
+
+
+class TestPartitionProperty:
+    @given(
+        pts=arrays(
+            np.float64,
+            st.tuples(st.integers(6, 50), st.integers(1, 4)),
+            elements=st.floats(-50, 50, allow_nan=False),
+        ),
+        n_chunks=st.integers(1, 6),
+        name=st.sampled_from(ALL_NAMES),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_split_is_always_a_partition(self, pts, n_chunks, name):
+        n_chunks = min(n_chunks, pts.shape[0])
+        chunks = make_partitioner(name, seed=0).split(pts, n_chunks)
+        assert sum(c.shape[0] for c in chunks) == pts.shape[0]
+        stacked = np.vstack(chunks)
+        np.testing.assert_allclose(
+            np.sort(stacked, axis=0), np.sort(pts, axis=0)
+        )

@@ -1,0 +1,113 @@
+"""Tests for swath data-quality screening."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.quality import QualityLedger, scrub_stripe, scrub_stripes
+from repro.data.swath import SwathStripe
+
+
+def make_stripe(
+    n: int = 20,
+    orbit: int = 0,
+    seed: int = 0,
+) -> SwathStripe:
+    rng = np.random.default_rng(seed)
+    return SwathStripe(
+        orbit=orbit,
+        lats=rng.uniform(-89, 89, size=n),
+        lons=rng.uniform(-179, 179, size=n),
+        measurements=rng.normal(size=(n, 4)),
+    )
+
+
+class TestScrubStripe:
+    def test_clean_stripe_untouched(self):
+        stripe = make_stripe()
+        clean, report = scrub_stripe(stripe)
+        assert clean is stripe
+        assert report.kept_fraction == 1.0
+        assert report.dropped_nonfinite == 0
+
+    def test_nonfinite_rows_dropped(self):
+        stripe = make_stripe(10)
+        stripe.measurements[3, 2] = np.nan
+        stripe.measurements[7, 0] = np.inf
+        clean, report = scrub_stripe(stripe)
+        assert clean is not None
+        assert clean.measurements.shape[0] == 8
+        assert report.dropped_nonfinite == 2
+        assert np.isfinite(clean.measurements).all()
+
+    def test_bad_geolocation_dropped(self):
+        stripe = make_stripe(10)
+        lats = stripe.lats.copy()
+        lats[0] = 95.0  # off the planet
+        lats[1] = np.nan
+        bad = SwathStripe(
+            orbit=stripe.orbit,
+            lats=lats,
+            lons=stripe.lons,
+            measurements=stripe.measurements,
+        )
+        clean, report = scrub_stripe(bad)
+        assert clean is not None
+        assert clean.measurements.shape[0] == 8
+        assert report.dropped_geolocation == 2
+
+    def test_everything_bad_returns_none(self):
+        stripe = make_stripe(5)
+        stripe.measurements[:] = np.nan
+        clean, report = scrub_stripe(stripe)
+        assert clean is None
+        assert report.samples_out == 0
+        assert report.kept_fraction == 0.0
+
+    def test_counts_are_disjoint(self):
+        """A row that is both non-finite and off-planet counts once, as
+        non-finite."""
+        stripe = make_stripe(10)
+        stripe.measurements[0, 0] = np.nan
+        lats = stripe.lats.copy()
+        lats[0] = 95.0
+        bad = SwathStripe(
+            orbit=0, lats=lats, lons=stripe.lons,
+            measurements=stripe.measurements,
+        )
+        __, report = scrub_stripe(bad)
+        assert report.dropped_nonfinite == 1
+        assert report.dropped_geolocation == 0
+        assert report.samples_out == 9
+
+
+class TestScrubStripes:
+    def test_stream_filters_and_ledgers(self):
+        stripes = [make_stripe(10, orbit=i, seed=i) for i in range(3)]
+        stripes[1].measurements[:] = np.inf  # whole stripe bad
+        ledger = QualityLedger()
+        clean = list(scrub_stripes(iter(stripes), ledger=ledger))
+        assert len(clean) == 2
+        assert len(ledger.reports) == 3
+        assert ledger.samples_in == 30
+        assert ledger.samples_out == 20
+        assert ledger.dropped == 10
+        assert "30" in ledger.summary()
+
+    def test_ledger_optional(self):
+        stripes = [make_stripe(5)]
+        assert len(list(scrub_stripes(stripes))) == 1
+
+    def test_screened_stream_bins_cleanly(self):
+        """End to end: contaminated stripes -> screen -> bin."""
+        from repro.data.swath import bin_stripes_into_buckets
+
+        stripes = [make_stripe(50, orbit=i, seed=i) for i in range(2)]
+        stripes[0].measurements[5] = np.nan
+        buckets = bin_stripes_into_buckets(scrub_stripes(stripes))
+        total = sum(b.n_points for b in buckets.values())
+        assert total == 99
+        for bucket in buckets.values():
+            frozen = bucket.freeze()
+            assert np.isfinite(frozen.points).all()

@@ -1,0 +1,113 @@
+"""Unit tests for the satellite-swath simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.gridcell import GridCellId
+from repro.data.swath import SwathSimulator, bin_stripes_into_buckets
+
+
+class TestSwathSimulator:
+    def test_stripe_shapes(self):
+        simulator = SwathSimulator(footprints_per_orbit=100, seed=0)
+        (stripe,) = list(simulator.fly(1))
+        assert stripe.lats.shape == (100,)
+        assert stripe.lons.shape == (100,)
+        assert stripe.measurements.shape == (100, 6)
+        assert stripe.n_footprints == 100
+
+    def test_samples_per_footprint_multiplies_measurements(self):
+        simulator = SwathSimulator(
+            footprints_per_orbit=50, samples_per_footprint=4, seed=0
+        )
+        (stripe,) = list(simulator.fly(1))
+        assert stripe.measurements.shape == (200, 6)
+        assert stripe.lats.shape == (200,)
+
+    def test_coordinates_in_valid_ranges(self):
+        simulator = SwathSimulator(footprints_per_orbit=500, seed=1)
+        for stripe in simulator.fly(3):
+            assert (stripe.lats >= -90).all() and (stripe.lats < 90).all()
+            assert (stripe.lons >= -180).all() and (stripe.lons < 180).all()
+
+    def test_orbits_drift_westward(self):
+        simulator = SwathSimulator(footprints_per_orbit=50, seed=0)
+        stripes = list(simulator.fly(2))
+        # Successive orbits must cover different longitude bands.
+        assert abs(np.median(stripes[0].lons) - np.median(stripes[1].lons)) > 5.0
+
+    def test_pole_to_pole_coverage(self):
+        simulator = SwathSimulator(footprints_per_orbit=500, seed=0)
+        (stripe,) = list(simulator.fly(1))
+        assert stripe.lats.max() > 80
+        assert stripe.lats.min() < -80
+
+    def test_deterministic(self):
+        a = list(SwathSimulator(footprints_per_orbit=50, seed=5).fly(2))
+        b = list(SwathSimulator(footprints_per_orbit=50, seed=5).fly(2))
+        for stripe_a, stripe_b in zip(a, b):
+            np.testing.assert_array_equal(
+                stripe_a.measurements, stripe_b.measurements
+            )
+
+    def test_same_cell_shares_distribution(self):
+        """Footprints in one cell must come from one mixture: two visits
+        to the same cell produce statistically similar data."""
+        simulator = SwathSimulator(
+            footprints_per_orbit=20, samples_per_footprint=200, seed=3
+        )
+        (stripe,) = list(simulator.fly(1))
+        cells = [
+            GridCellId.containing(lat, lon)
+            for lat, lon in zip(stripe.lats, stripe.lons)
+        ]
+        by_cell: dict[GridCellId, list[int]] = {}
+        for index, cell in enumerate(cells):
+            by_cell.setdefault(cell, []).append(index)
+        # Find a cell visited by two or more footprints.
+        for cell, indices in by_cell.items():
+            if len(indices) >= 2:
+                a = stripe.measurements[indices[0]]
+                b = stripe.measurements[indices[1]]
+                # Same mixture, so both land within the mixture envelope.
+                assert np.abs(a - b).max() < 200.0
+                return
+
+    @pytest.mark.parametrize("bad", [{"footprints_per_orbit": 0},
+                                     {"samples_per_footprint": 0},
+                                     {"swath_width_deg": 0.0}])
+    def test_validation(self, bad):
+        with pytest.raises(ValueError):
+            SwathSimulator(**bad)
+
+    def test_rejects_zero_orbits(self):
+        simulator = SwathSimulator(footprints_per_orbit=10, seed=0)
+        with pytest.raises(ValueError, match="n_orbits"):
+            list(simulator.fly(0))
+
+
+class TestBinning:
+    def test_every_measurement_binned_once(self):
+        simulator = SwathSimulator(
+            footprints_per_orbit=200, samples_per_footprint=3, seed=2
+        )
+        stripes = list(simulator.fly(2))
+        buckets = bin_stripes_into_buckets(stripes)
+        total_binned = sum(b.n_points for b in buckets.values())
+        total_measured = sum(s.measurements.shape[0] for s in stripes)
+        assert total_binned == total_measured
+
+    def test_bucket_ids_match_contents(self):
+        simulator = SwathSimulator(footprints_per_orbit=100, seed=4)
+        buckets = bin_stripes_into_buckets(simulator.fly(1))
+        for cell_id, bucket in buckets.items():
+            assert bucket.cell_id == cell_id
+
+    def test_binning_from_iterator_or_list(self):
+        simulator = SwathSimulator(footprints_per_orbit=50, seed=6)
+        stripes = list(simulator.fly(1))
+        from_list = bin_stripes_into_buckets(stripes)
+        from_iter = bin_stripes_into_buckets(iter(stripes))
+        assert set(from_list) == set(from_iter)

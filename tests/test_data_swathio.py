@@ -1,0 +1,124 @@
+"""Tests for the semi-structured swath granule format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.swath import SwathSimulator, SwathStripe
+from repro.data.swathio import (
+    SwathFileError,
+    bin_granules_into_buckets,
+    read_swath_stripes,
+    scan_granules,
+    swath_directory,
+    write_granules,
+    write_swath_file,
+)
+
+
+@pytest.fixture
+def stripes() -> list[SwathStripe]:
+    simulator = SwathSimulator(
+        footprints_per_orbit=60, samples_per_footprint=2, seed=3
+    )
+    return list(simulator.fly(5))
+
+
+class TestSingleGranule:
+    def test_roundtrip(self, tmp_path, stripes):
+        path = write_swath_file(tmp_path / "g.swf", stripes[:2])
+        loaded = list(read_swath_stripes(path))
+        assert len(loaded) == 2
+        for original, restored in zip(stripes[:2], loaded):
+            assert restored.orbit == original.orbit
+            np.testing.assert_array_equal(restored.lats, original.lats)
+            np.testing.assert_array_equal(restored.lons, original.lons)
+            np.testing.assert_array_equal(
+                restored.measurements, original.measurements
+            )
+
+    def test_directory_listing(self, tmp_path, stripes):
+        path = write_swath_file(tmp_path / "g.swf", stripes[:3])
+        entries = swath_directory(path)
+        assert [orbit for orbit, __ in entries] == [s.orbit for s in stripes[:3]]
+        assert all(n == stripes[0].measurements.shape[0] for __, n in entries)
+
+    def test_rejects_empty(self, tmp_path):
+        with pytest.raises(ValueError, match="empty swath"):
+            write_swath_file(tmp_path / "g.swf", [])
+
+    def test_rejects_mixed_dims(self, tmp_path, stripes):
+        bad = SwathStripe(
+            orbit=99,
+            lats=np.zeros(2),
+            lons=np.zeros(2),
+            measurements=np.zeros((2, 3)),
+        )
+        with pytest.raises(ValueError, match="mixed"):
+            write_swath_file(tmp_path / "g.swf", [stripes[0], bad])
+
+    def test_bad_magic_detected(self, tmp_path, stripes):
+        path = write_swath_file(tmp_path / "g.swf", stripes[:1])
+        raw = bytearray(path.read_bytes())
+        raw[:4] = b"NOPE"
+        path.write_bytes(bytes(raw))
+        with pytest.raises(SwathFileError, match="magic"):
+            list(read_swath_stripes(path))
+        with pytest.raises(SwathFileError, match="magic"):
+            swath_directory(path)
+
+    def test_truncation_detected(self, tmp_path, stripes):
+        path = write_swath_file(tmp_path / "g.swf", stripes[:2])
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-100])
+        with pytest.raises(SwathFileError, match="truncated"):
+            list(read_swath_stripes(path))
+
+
+class TestGranuleCollections:
+    def test_write_granules_splits_stream(self, tmp_path, stripes):
+        paths = write_granules(tmp_path / "g", stripes, stripes_per_granule=2)
+        assert len(paths) == 3  # 5 stripes -> 2 + 2 + 1
+        assert len(swath_directory(paths[0])) == 2
+        assert len(swath_directory(paths[-1])) == 1
+
+    def test_scan_granules_roundtrips_everything(self, tmp_path, stripes):
+        write_granules(tmp_path / "g", stripes, stripes_per_granule=2)
+        loaded = list(scan_granules(tmp_path / "g"))
+        assert len(loaded) == len(stripes)
+        total_original = sum(s.measurements.shape[0] for s in stripes)
+        total_loaded = sum(s.measurements.shape[0] for s in loaded)
+        assert total_loaded == total_original
+
+    def test_bin_granules_matches_direct_binning(self, tmp_path, stripes):
+        from repro.data.swath import bin_stripes_into_buckets
+
+        write_granules(tmp_path / "g", stripes, stripes_per_granule=2)
+        from_disk = bin_granules_into_buckets(tmp_path / "g")
+        direct = bin_stripes_into_buckets(stripes)
+        assert set(from_disk) == set(direct)
+        for cell_id in direct:
+            assert from_disk[cell_id].n_points == direct[cell_id].n_points
+
+    def test_cells_span_multiple_granules(self, tmp_path):
+        """The paper's premise: one cell's points live in several files."""
+        simulator = SwathSimulator(
+            footprints_per_orbit=40, samples_per_footprint=2, seed=7,
+            orbit_minutes=0.1,  # nearly no drift: orbits overlap in longitude
+        )
+        stripes = list(simulator.fly(4))
+        paths = write_granules(tmp_path / "g", stripes, stripes_per_granule=1)
+        assert len(paths) == 4
+        per_file_cells = []
+        for path in paths:
+            from repro.data.swath import bin_stripes_into_buckets
+
+            cells = set(bin_stripes_into_buckets(read_swath_stripes(path)))
+            per_file_cells.append(cells)
+        shared = per_file_cells[0] & per_file_cells[1]
+        assert shared, "overlapping orbits must revisit cells across files"
+
+    def test_rejects_bad_stripes_per_granule(self, tmp_path, stripes):
+        with pytest.raises(ValueError, match="stripes_per_granule"):
+            write_granules(tmp_path / "g", stripes, stripes_per_granule=0)

@@ -1,0 +1,57 @@
+"""Tests for the multi-cell workload builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.workloads import build_monthly_workload
+
+
+class TestBuildMonthlyWorkload:
+    def test_cell_count_and_ids(self):
+        workload = build_monthly_workload(n_cells=8, seed=0)
+        assert workload.n_cells == 8
+        assert set(workload.cells) == set(workload.cell_ids)
+        for key, cell_id in workload.cell_ids.items():
+            assert cell_id.key == key
+
+    def test_sizes_respect_bounds(self):
+        workload = build_monthly_workload(
+            n_cells=20, median_points=500, min_points=100,
+            max_points=2_000, seed=1,
+        )
+        for points in workload.cells.values():
+            assert 100 <= points.shape[0] <= 2_000
+
+    def test_sizes_are_skewed(self):
+        workload = build_monthly_workload(
+            n_cells=40, median_points=1_000, sigma=1.0,
+            min_points=50, max_points=100_000, seed=2,
+        )
+        dist = workload.size_distribution()
+        # Heavy tail: the max well above the median.
+        assert dist["max"] > 2 * dist["median"]
+
+    def test_total_points(self):
+        workload = build_monthly_workload(n_cells=5, seed=3)
+        assert workload.total_points == sum(
+            p.shape[0] for p in workload.cells.values()
+        )
+
+    def test_deterministic(self):
+        a = build_monthly_workload(n_cells=4, seed=9)
+        b = build_monthly_workload(n_cells=4, seed=9)
+        assert set(a.cells) == set(b.cells)
+        for key in a.cells:
+            np.testing.assert_array_equal(a.cells[key], b.cells[key])
+
+    def test_distinct_locations(self):
+        workload = build_monthly_workload(n_cells=30, seed=4)
+        assert len(set(workload.cell_ids.values())) == 30
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n_cells"):
+            build_monthly_workload(n_cells=0)
+        with pytest.raises(ValueError, match="median_points"):
+            build_monthly_workload(median_points=10, min_points=100)

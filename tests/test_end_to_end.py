@@ -1,0 +1,107 @@
+"""Grand integration test: the complete production pipeline.
+
+Satellite → quality screen → granule files → one-pass binning → bucket
+files → declarative query on the stream engine → per-cell compression →
+global summary → serialized products.  Every subsystem in one flow, with
+the invariants that matter checked at each boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    GlobalSummary,
+    MultivariateHistogram,
+    read_summary_dir,
+    write_summary_dir,
+)
+from repro.core.checks import validate_model
+from repro.data import (
+    QualityLedger,
+    SwathSimulator,
+    bin_stripes_into_buckets,
+    read_swath_stripes,
+    scrub_stripes,
+    write_bucket_dir,
+    write_granules,
+)
+from repro.data.gridcell import GridCellId
+from repro.stream import Query, ResourceManager
+
+
+@pytest.mark.parametrize("seed", [3])
+def test_full_production_pipeline(tmp_path, seed):
+    rng = np.random.default_rng(seed)
+
+    # 1. Acquire: fly the satellite; inject sensor junk into one stripe.
+    simulator = SwathSimulator(
+        footprints_per_orbit=150, samples_per_footprint=100, seed=seed
+    )
+    stripes = list(simulator.fly(2))
+    stripes[0].measurements[5:9] = np.nan  # a saturated detector burst
+
+    # 2. Screen: the junk must be dropped and accounted for.
+    ledger = QualityLedger()
+    clean_stripes = list(scrub_stripes(stripes, ledger=ledger))
+    assert ledger.dropped == 4
+    assert ledger.samples_out == ledger.samples_in - 4
+
+    # 3. Persist the acquisition as semi-structured granules and re-scan.
+    write_granules(tmp_path / "granules", clean_stripes, stripes_per_granule=1)
+    rescanned = [
+        stripe
+        for path in sorted((tmp_path / "granules").glob("*.swf"))
+        for stripe in read_swath_stripes(path)
+    ]
+    assert sum(s.measurements.shape[0] for s in rescanned) == ledger.samples_out
+
+    # 4. Bin into grid buckets; keep the populated cells.
+    buckets = bin_stripes_into_buckets(iter(rescanned))
+    total_binned = sum(b.n_points for b in buckets.values())
+    assert total_binned == ledger.samples_out
+    densest = sorted(buckets.values(), key=lambda b: -b.n_points)[:4]
+    populated = [
+        bucket.freeze(rng) for bucket in densest if bucket.n_points >= 80
+    ]
+    assert populated, "need at least one populated cell"
+    write_bucket_dir(tmp_path / "buckets", populated)
+
+    # 5. Cluster everything with a declarative query under a memory budget.
+    resources = ResourceManager(memory_budget_bytes=64 * 1024, worker_slots=3)
+    result = (
+        Query.scan_buckets(str(tmp_path / "buckets"))
+        .partition_by_memory()
+        .cluster(k=8, restarts=2, max_iter=60)
+        .merge()
+        .with_resources(resources)
+        .with_seed(0)
+        .execute()
+    )
+    assert len(result.models) == len(populated)
+
+    # 6. Per-cell invariants + compression into the global summary.
+    summary = GlobalSummary(dim=6)
+    points_by_key = {c.cell_id.key: c.points for c in populated}
+    for key, model in result.models.items():
+        raw = points_by_key[key]
+        validate_model(model, points=raw, expected_mass=raw.shape[0])
+        summary.add_cell(
+            GridCellId.from_key(key),
+            MultivariateHistogram.from_model(raw, model),
+        )
+    assert summary.total_count() == pytest.approx(
+        sum(p.shape[0] for p in points_by_key.values())
+    )
+
+    # 7. The decoded summary preserves the global mean exactly.
+    raw_all = np.vstack(list(points_by_key.values()))
+    np.testing.assert_allclose(summary.mean(), raw_all.mean(axis=0), rtol=1e-9)
+
+    # 8. Ship the products and read them back.
+    write_summary_dir(tmp_path / "mvh", summary)
+    loaded = read_summary_dir(tmp_path / "mvh", dim=6)
+    assert len(loaded) == len(summary)
+    np.testing.assert_allclose(loaded.mean(), summary.mean())
+    assert loaded.compression_ratio() > 1.0

@@ -1,0 +1,232 @@
+"""Tests for the experiment harness, tables, figures and speed-up."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import (
+    ExperimentConfig,
+    paper_config,
+    quick_config,
+    smoke_config,
+)
+from repro.experiments.figures import figure6, figure7, figure8, render_figure
+from repro.experiments.harness import run_case, run_grid
+from repro.experiments.speedup import render_speedup, run_speedup_experiment
+from repro.experiments.tables import render_table2, table2_rows
+
+
+@pytest.fixture(scope="module")
+def smoke_results():
+    return run_grid(smoke_config())
+
+
+class TestConfigs:
+    def test_paper_config_matches_paper(self):
+        config = paper_config()
+        assert config.sizes == (250, 2_500, 12_500, 25_000, 50_000, 75_000)
+        assert config.k == 40
+        assert config.restarts == 10
+        assert config.splits == (5, 10)
+        assert config.versions == 5
+
+    def test_quick_config_preserves_structure(self):
+        config = quick_config()
+        assert config.k == 40
+        assert config.splits == (5, 10)
+        assert config.sizes == tuple(sorted(config.sizes))
+
+    def test_cases_order(self):
+        assert smoke_config().cases == ("serial", "3split", "5split")
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="sizes"):
+            ExperimentConfig(sizes=())
+        with pytest.raises(ValueError, match="split"):
+            ExperimentConfig(splits=(1,))
+        with pytest.raises(ValueError, match=">= k"):
+            ExperimentConfig(sizes=(10,), k=40)
+
+
+class TestRunCase:
+    def test_serial_case(self, blobs_6d):
+        config = smoke_config()
+        case_mse, paper_mse, t_partial, t_merge, t_overall = run_case(
+            blobs_6d, "serial", config, seed=0
+        )
+        assert case_mse > 0
+        assert paper_mse == case_mse  # same metric for serial
+        assert t_partial == 0.0 and t_merge == 0.0
+        assert t_overall > 0
+
+    def test_split_case(self, blobs_6d):
+        config = smoke_config()
+        case_mse, paper_mse, t_partial, t_merge, t_overall = run_case(
+            blobs_6d, "3split", config, seed=0
+        )
+        assert case_mse > 0
+        assert paper_mse >= 0  # E_pm over weighted centroids
+        assert t_partial > 0
+        assert t_overall >= t_merge
+
+    def test_unknown_case(self, blobs_6d):
+        with pytest.raises(ValueError, match="unknown case"):
+            run_case(blobs_6d, "weird", smoke_config(), seed=0)
+
+
+class TestRunGrid:
+    def test_row_count(self, smoke_results):
+        config = smoke_results.config
+        expected = len(config.sizes) * config.versions * len(config.cases)
+        assert len(smoke_results.rows) == expected
+
+    def test_mean_over_versions(self, smoke_results):
+        aggregated = smoke_results.mean_over_versions(
+            smoke_results.config.sizes[0], "serial"
+        )
+        assert aggregated.version == -1
+        assert aggregated.mse > 0
+
+    def test_missing_aggregation_raises(self, smoke_results):
+        with pytest.raises(KeyError):
+            smoke_results.mean_over_versions(999_999, "serial")
+
+    def test_series_alignment(self, smoke_results):
+        xs, ys = smoke_results.series("serial", "overall_seconds")
+        assert xs == list(smoke_results.config.sizes)
+        assert len(ys) == len(xs)
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        run_grid(smoke_config(), progress=lines.append)
+        assert len(lines) > 0
+        assert any("serial" in line for line in lines)
+
+
+class TestTable2:
+    def test_rows_cover_grid(self, smoke_results):
+        rows = table2_rows(smoke_results)
+        config = smoke_results.config
+        assert len(rows) == len(config.sizes) * len(config.cases)
+
+    def test_largest_first(self, smoke_results):
+        rows = table2_rows(smoke_results)
+        assert rows[0]["data_pts"] == max(smoke_results.config.sizes)
+
+    def test_render_contains_all_cases(self, smoke_results):
+        text = render_table2(smoke_results)
+        for case in smoke_results.config.cases:
+            assert case in text
+        assert "Min MSE" in text
+
+
+class TestFigures:
+    def test_figure6_series(self, smoke_results):
+        figure = figure6(smoke_results)
+        assert set(figure.series) == set(smoke_results.config.cases)
+        assert figure.x == list(smoke_results.config.sizes)
+
+    def test_figure7_is_mse(self, smoke_results):
+        figure = figure7(smoke_results)
+        assert "MSE" in figure.y_label
+
+    def test_figure8_excludes_serial(self, smoke_results):
+        figure = figure8(smoke_results)
+        assert "serial" not in figure.series
+        assert len(figure.series) == 2
+
+    def test_render_is_plain_text(self, smoke_results):
+        text = render_figure(figure6(smoke_results))
+        assert "Figure 6" in text
+        assert len(text.splitlines()) > 10
+
+
+class TestSpeedup:
+    def test_speedup_points(self):
+        points = run_speedup_experiment(
+            n_points=600,
+            k=6,
+            restarts=1,
+            n_chunks=4,
+            clone_counts=(1, 2),
+            max_iter=20,
+        )
+        assert [p.clones for p in points] == [1, 2]
+        assert points[0].speedup == pytest.approx(1.0)
+        assert all(p.wall_seconds > 0 for p in points)
+
+    def test_render(self):
+        points = run_speedup_experiment(
+            n_points=400, k=4, restarts=1, n_chunks=2,
+            clone_counts=(1,), max_iter=10,
+        )
+        text = render_speedup(points)
+        assert "clones" in text
+
+    def test_rejects_bad_clone_counts(self):
+        with pytest.raises(ValueError, match="clone counts"):
+            run_speedup_experiment(clone_counts=(0,))
+
+
+class TestReport:
+    def test_generate_report_reuses_results(self, tmp_path, smoke_results):
+        from repro.experiments.report import generate_report
+
+        path = generate_report(
+            smoke_results.config,
+            tmp_path / "r.md",
+            results=smoke_results,
+            include_speedup=False,
+            include_convergence=False,
+        )
+        text = path.read_text()
+        for heading in ("Table 2", "Figure 6", "Figure 7", "Figure 8"):
+            assert heading in text
+
+    def test_generate_report_progress_callback(self, tmp_path, smoke_results):
+        from repro.experiments.report import generate_report
+
+        messages: list[str] = []
+        generate_report(
+            smoke_results.config,
+            tmp_path / "r.md",
+            results=smoke_results,
+            include_speedup=False,
+            include_convergence=False,
+            progress=messages.append,
+        )
+        assert any("report written" in m for m in messages)
+
+
+class TestFigure7Fair:
+    def test_uses_raw_metric(self, smoke_results):
+        from repro.experiments.figures import figure7_fair
+
+        figure = figure7_fair(smoke_results)
+        assert "raw points" in figure.y_label
+        assert set(figure.series) == set(smoke_results.config.cases)
+
+    def test_serial_series_identical_across_metrics(self, smoke_results):
+        """For the serial case the paper metric and the raw metric are
+        the same thing; the two figures must agree on that curve."""
+        from repro.experiments.figures import figure7, figure7_fair
+
+        paper = figure7(smoke_results).series["serial"]
+        fair = figure7_fair(smoke_results).series["serial"]
+        assert paper == fair
+
+    def test_split_paper_metric_at_most_raw(self, smoke_results):
+        """E_pm quantizes already-quantized weighted centroids, so the
+        paper metric can only be <= the raw-point metric per case."""
+        from repro.experiments.figures import figure7, figure7_fair
+
+        paper = figure7(smoke_results)
+        fair = figure7_fair(smoke_results)
+        for case in paper.series:
+            if case == "serial":
+                continue
+            for paper_value, fair_value in zip(
+                paper.series[case], fair.series[case]
+            ):
+                assert paper_value <= fair_value + 1e-9

@@ -1,0 +1,157 @@
+"""Unit tests for the convergence study and cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.convergence_study import (
+    partial_merge_distance_ops,
+    render_convergence_study,
+    run_convergence_study,
+    serial_distance_ops,
+)
+
+
+class TestCostModel:
+    def test_serial_cost_linear_in_each_factor(self):
+        base = serial_distance_ops(1_000, 40, 10.0, 3)
+        assert serial_distance_ops(2_000, 40, 10.0, 3) == base * 2
+        assert serial_distance_ops(1_000, 80, 10.0, 3) == base * 2
+        assert serial_distance_ops(1_000, 40, 20.0, 3) == base * 2
+        assert serial_distance_ops(1_000, 40, 10.0, 6) == base * 2
+
+    def test_partial_cost_includes_merge_term(self):
+        without = partial_merge_distance_ops(1_000, 40, 5.0, 3, 10)
+        with_merge = partial_merge_distance_ops(
+            1_000, 40, 5.0, 3, 10, merge_iterations=10.0
+        )
+        assert with_merge == without + 10.0 * 40 * 400
+
+    def test_fewer_iterations_means_cheaper(self):
+        expensive = partial_merge_distance_ops(1_000, 40, 10.0, 3, 10)
+        cheap = partial_merge_distance_ops(1_000, 40, 2.0, 3, 10)
+        assert cheap < expensive
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_convergence_study(
+            sizes=(200, 800), k=10, restarts=2, n_chunks=4, seed=0,
+            max_iter=100,
+        )
+
+    def test_point_per_size(self, study):
+        assert [p.n_points for p in study] == [200, 800]
+
+    def test_iterations_positive(self, study):
+        for point in study:
+            assert point.serial_iterations >= 1
+            assert point.partial_iterations >= 1
+
+    def test_partial_iterations_in_same_class(self, study):
+        """At toy scale the I' << I effect is noise-level; chunks must
+        simply not need dramatically more iterations than the whole cell
+        (the at-scale ordering is asserted by the convergence benchmark)."""
+        largest = study[-1]
+        assert largest.partial_iterations <= largest.serial_iterations * 1.5
+
+    def test_render(self, study):
+        text = render_convergence_study(study, k=10, restarts=2)
+        assert "Convergence study" in text
+        assert "200" in text
+
+    def test_size_below_k_rejected(self):
+        with pytest.raises(ValueError, match=">= k"):
+            run_convergence_study(sizes=(5,), k=10)
+
+
+class TestKSensitivity:
+    def test_sweep_structure(self):
+        from repro.experiments.sensitivity import run_k_sensitivity
+
+        points = run_k_sensitivity(
+            ks=(4, 8), n_points=400, restarts=1, n_chunks=4,
+            seed=0, max_iter=30,
+        )
+        assert [p.k for p in points] == [4, 8]
+        for point in points:
+            assert point.serial_mse > 0
+            assert point.split_mse > 0
+            assert point.time_ratio > 0
+            assert point.quality_ratio > 0
+
+    def test_more_clusters_less_error(self):
+        from repro.experiments.sensitivity import run_k_sensitivity
+
+        points = run_k_sensitivity(
+            ks=(2, 16), n_points=600, restarts=2, n_chunks=3,
+            seed=1, max_iter=50,
+        )
+        assert points[1].serial_mse < points[0].serial_mse
+        assert points[1].split_mse < points[0].split_mse
+
+    def test_render(self):
+        from repro.experiments.sensitivity import (
+            render_k_sensitivity,
+            run_k_sensitivity,
+        )
+
+        points = run_k_sensitivity(
+            ks=(4,), n_points=200, restarts=1, n_chunks=2,
+            seed=0, max_iter=20,
+        )
+        assert "k-sensitivity" in render_k_sensitivity(points)
+
+    def test_validation(self):
+        from repro.experiments.sensitivity import run_k_sensitivity
+
+        import pytest as _pytest
+        with _pytest.raises(ValueError, match="k values"):
+            run_k_sensitivity(ks=(0,))
+        with _pytest.raises(ValueError, match="exceed"):
+            run_k_sensitivity(ks=(500,), n_points=100)
+
+
+class TestNoiseStudy:
+    def test_sweep_structure(self):
+        from repro.experiments.noise_study import run_noise_study
+
+        points = run_noise_study(
+            epsilons=(0.0, 0.02), n_points=600, k=8, restarts=1,
+            n_chunks=3, seed=0, max_iter=30,
+        )
+        assert [p.epsilon for p in points] == [0.0, 0.02]
+        for point in points:
+            assert point.serial_mse > 0
+            assert point.split_mse > 0
+            assert point.robust_mse > 0
+            assert 0.0 <= point.tail_captured <= 1.0
+
+    def test_zero_contamination_tail_is_full(self):
+        from repro.experiments.noise_study import run_noise_study
+
+        (point,) = run_noise_study(
+            epsilons=(0.0,), n_points=400, k=6, restarts=1,
+            n_chunks=2, seed=1, max_iter=30,
+        )
+        assert point.tail_captured == 1.0
+
+    def test_render(self):
+        from repro.experiments.noise_study import (
+            render_noise_study,
+            run_noise_study,
+        )
+
+        points = run_noise_study(
+            epsilons=(0.0,), n_points=300, k=5, restarts=1,
+            n_chunks=2, seed=0, max_iter=20,
+        )
+        assert "Noise study" in render_noise_study(points)
+
+    def test_validation(self):
+        from repro.experiments.noise_study import run_noise_study
+
+        import pytest as _pytest
+        with _pytest.raises(ValueError, match="epsilons"):
+            run_noise_study(epsilons=(1.5,))

@@ -1,0 +1,153 @@
+"""Property-based tests for the binary formats and histogram bounds."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.baselines.serial import SerialKMeans
+from repro.compression.histogram import MultivariateHistogram
+from repro.compression.serialization import (
+    read_histogram_file,
+    write_histogram_file,
+)
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import (
+    read_bucket_file,
+    stream_bucket_points,
+    write_bucket_file,
+)
+from repro.data.swath import SwathStripe
+from repro.data.swathio import read_swath_stripes, write_swath_file
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+format_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+def point_matrices(max_rows: int = 40, max_cols: int = 5):
+    return st.integers(1, max_rows).flatmap(
+        lambda n: st.integers(1, max_cols).flatmap(
+            lambda d: arrays(np.float64, (n, d), elements=finite)
+        )
+    )
+
+
+class TestGridBucketRoundTrip:
+    @given(
+        pts=point_matrices(),
+        lat=st.integers(-90, 89),
+        lon=st.integers(-180, 179),
+    )
+    @format_settings
+    def test_roundtrip_bitexact(self, tmp_path, pts, lat, lon):
+        cell = GridCell(GridCellId(lat, lon), pts)
+        path = write_bucket_file(tmp_path / "c.gbk", cell)
+        loaded = read_bucket_file(path)
+        assert loaded.cell_id == cell.cell_id
+        np.testing.assert_array_equal(loaded.points, cell.points)
+
+    @given(pts=point_matrices(), chunk=st.integers(1, 50))
+    @format_settings
+    def test_streaming_reassembles(self, tmp_path, pts, chunk):
+        cell = GridCell(GridCellId(0, 0), pts)
+        path = write_bucket_file(tmp_path / "c.gbk", cell)
+        chunks = list(stream_bucket_points(path, chunk))
+        np.testing.assert_array_equal(np.vstack(chunks), cell.points)
+        assert all(c.shape[0] <= chunk for c in chunks)
+
+
+class TestSwathRoundTrip:
+    @given(
+        n=st.integers(1, 30),
+        dim=st.integers(1, 5),
+        n_stripes=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    @format_settings
+    def test_roundtrip_bitexact(self, tmp_path, n, dim, n_stripes, seed):
+        rng = np.random.default_rng(seed)
+        stripes = [
+            SwathStripe(
+                orbit=index,
+                lats=rng.uniform(-90, 89.9, size=n),
+                lons=rng.uniform(-180, 179.9, size=n),
+                measurements=rng.normal(size=(n, dim)),
+            )
+            for index in range(n_stripes)
+        ]
+        path = write_swath_file(tmp_path / "g.swf", stripes)
+        loaded = list(read_swath_stripes(path))
+        assert len(loaded) == n_stripes
+        for original, restored in zip(stripes, loaded):
+            np.testing.assert_array_equal(
+                restored.measurements, original.measurements
+            )
+            np.testing.assert_array_equal(restored.lats, original.lats)
+
+
+class TestHistogramProperties:
+    @given(
+        pts=point_matrices(max_rows=60, max_cols=3),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @format_settings
+    def test_estimate_count_bounds(self, tmp_path, pts, k, seed):
+        """0 <= estimate <= total for any query box, and the all-covering
+        box returns exactly the total."""
+        k = min(k, pts.shape[0])
+        model = SerialKMeans(k=k, restarts=1, seed=seed, max_iter=20).fit(pts)
+        histogram = MultivariateHistogram.from_model(pts, model)
+
+        rng = np.random.default_rng(seed)
+        lo = rng.uniform(-1e6, 1e6, size=pts.shape[1])
+        hi = lo + rng.uniform(0, 1e6, size=pts.shape[1])
+        estimate = histogram.estimate_count(lo, hi)
+        assert -1e-6 <= estimate <= histogram.total_count * (1 + 1e-9)
+
+        everything = histogram.estimate_count(
+            pts.min(axis=0) - 1, pts.max(axis=0) + 1
+        )
+        assert everything == pytest.approx(pts.shape[0], rel=1e-9)
+
+    @given(
+        pts=point_matrices(max_rows=60, max_cols=3),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 100),
+    )
+    @format_settings
+    def test_mvh_roundtrip_preserves_queries(self, tmp_path, pts, k, seed):
+        k = min(k, pts.shape[0])
+        model = SerialKMeans(k=k, restarts=1, seed=seed, max_iter=20).fit(pts)
+        histogram = MultivariateHistogram.from_model(pts, model)
+        path = write_histogram_file(
+            tmp_path / "c.mvh", GridCellId(0, 0), histogram
+        )
+        __, loaded = read_histogram_file(path)
+        assert loaded.total_count == pytest.approx(histogram.total_count)
+        lo = pts.min(axis=0)
+        hi = pts.mean(axis=0)
+        assert loaded.estimate_count(lo, np.maximum(hi, lo)) == pytest.approx(
+            histogram.estimate_count(lo, np.maximum(hi, lo))
+        )
+
+    @given(
+        pts=point_matrices(max_rows=60, max_cols=3),
+        n_bins=st.integers(1, 40),
+    )
+    @format_settings
+    def test_marginal_mass_always_conserved(self, pts, n_bins):
+        k = min(4, pts.shape[0])
+        model = SerialKMeans(k=k, restarts=1, seed=0, max_iter=20).fit(pts)
+        histogram = MultivariateHistogram.from_model(pts, model)
+        __, counts = histogram.marginal(0, n_bins=n_bins)
+        assert counts.sum() == pytest.approx(pts.shape[0], rel=1e-9)
+        assert (counts >= -1e-9).all()

@@ -1,0 +1,107 @@
+"""Model-based property tests for SmartQueue.
+
+A sequential reference model (counter + FIFO list) is run against the
+real queue under arbitrary interleavings of producer registration, puts,
+gets, and producer completion.  Invariants: items come out exactly once,
+in order, and end-of-stream appears if and only if all registered
+producers have finished and the buffer drained.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.stream.errors import QueueClosedError
+from repro.stream.queues import END_OF_STREAM, SmartQueue
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """Random single-threaded schedules against the reference model."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.queue = SmartQueue(capacity=4)
+        self.model_fifo: list[int] = []
+        self.producers = 0
+        self.done = 0
+        self.next_item = 0
+        self.received: list[int] = []
+
+    # -- rules ----------------------------------------------------------------
+
+    @rule()
+    def register(self) -> None:
+        self.queue.register_producer()
+        self.producers += 1
+
+    @precondition(lambda self: self.producers > self.done)
+    @rule()
+    def finish_one_producer(self) -> None:
+        self.queue.producer_done()
+        self.done += 1
+
+    @precondition(
+        lambda self: self.producers > self.done and len(self.model_fifo) < 4
+    )
+    @rule()
+    def put(self) -> None:
+        self.queue.put(self.next_item)
+        self.model_fifo.append(self.next_item)
+        self.next_item += 1
+
+    @precondition(lambda self: self.producers == self.done)
+    @rule()
+    def put_after_close_rejected(self) -> None:
+        if self.producers == 0:
+            return  # queue not closed yet (no producers registered)
+        try:
+            self.queue.put(-1)
+            raise AssertionError("put on a closed queue must raise")
+        except QueueClosedError:
+            pass
+
+    @precondition(lambda self: len(self.model_fifo) > 0)
+    @rule()
+    def get(self) -> None:
+        item = self.queue.get(timeout=1.0)
+        assert item is not END_OF_STREAM
+        expected = self.model_fifo.pop(0)
+        assert item == expected
+        self.received.append(item)
+
+    @precondition(
+        lambda self: self.producers > 0
+        and self.producers == self.done
+        and not self.model_fifo
+    )
+    @rule()
+    def get_eos_when_drained(self) -> None:
+        assert self.queue.get(timeout=1.0) is END_OF_STREAM
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def buffer_length_matches_model(self) -> None:
+        assert len(self.queue) == len(self.model_fifo)
+
+    @invariant()
+    def received_in_order_without_loss(self) -> None:
+        assert self.received == sorted(self.received)
+        assert len(set(self.received)) == len(self.received)
+
+    @invariant()
+    def closed_iff_all_producers_done(self) -> None:
+        expected_closed = self.producers > 0 and self.producers == self.done
+        assert self.queue.closed == expected_closed
+
+
+TestQueueModel = QueueMachine.TestCase
+TestQueueModel.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None
+)

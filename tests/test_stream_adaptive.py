@@ -1,0 +1,189 @@
+"""Tests for the adaptive (re-optimizing) executor."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.stream.adaptive import AdaptiveExecutor
+from repro.stream.errors import ExecutionError
+from repro.stream.graph import DataflowGraph
+from repro.stream.operators import FunctionTransform, Sink, Source, Transform
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+
+
+class RangeSource(Source):
+    def __init__(self, n: int, name: str = "src"):
+        super().__init__(name)
+        self.n = n
+
+    def generate(self):
+        yield from range(self.n)
+
+
+class CollectSink(Sink):
+    def __init__(self, name: str = "sink"):
+        super().__init__(name)
+        self.items = []
+
+    def consume(self, item):
+        self.items.append(item)
+
+    def result(self):
+        return sorted(self.items)
+
+
+class SlowTransform(Transform):
+    """Deliberately slow so its input queue backs up."""
+
+    def __init__(self, delay: float = 0.002, name: str = "slow"):
+        super().__init__(name)
+        self.delay = delay
+
+    def clone(self):
+        return SlowTransform(self.delay, self.name)
+
+    def process(self, item):
+        time.sleep(self.delay)
+        return [item]
+
+
+class ExplodingTransform(Transform):
+    def __init__(self, name: str = "boom"):
+        super().__init__(name)
+
+    def process(self, item):
+        raise RuntimeError("deliberate failure")
+
+
+def slow_graph(n: int = 120) -> DataflowGraph:
+    graph = DataflowGraph()
+    graph.add(RangeSource(n))
+    graph.add(SlowTransform(), cost_hint=8.0)
+    graph.add(CollectSink())
+    graph.connect("src", "slow")
+    graph.connect("slow", "sink")
+    return graph
+
+
+def plan_single_clone(graph: DataflowGraph):
+    """A plan that starts with exactly one instance of the transform."""
+    return Planner(ResourceManager(worker_slots=1)).plan(graph)
+
+
+class TestAdaptiveExecutor:
+    def test_results_correct_with_adaptation(self):
+        executor = AdaptiveExecutor(
+            max_extra_clones=2, occupancy_threshold=0.2, patience=1
+        )
+        outcome = executor.run(plan_single_clone(slow_graph(120)))
+        assert outcome.value == list(range(120))
+
+    def test_clones_added_under_backpressure(self):
+        executor = AdaptiveExecutor(
+            max_extra_clones=2,
+            occupancy_threshold=0.2,
+            sample_interval=0.005,
+            patience=1,
+        )
+        outcome = executor.run(plan_single_clone(slow_graph(150)))
+        assert len(executor.events) >= 1
+        event = executor.events[0]
+        assert event.logical_name == "slow"
+        assert "adaptive" in event.clone_name
+        adaptive_ops = [
+            op for op in outcome.metrics.operators if "adaptive" in op.name
+        ]
+        assert len(adaptive_ops) == len(executor.events)
+        assert sum(op.items_in for op in adaptive_ops) > 0
+
+    def test_clone_cap_respected(self):
+        executor = AdaptiveExecutor(
+            max_extra_clones=1,
+            occupancy_threshold=0.1,
+            sample_interval=0.003,
+            patience=1,
+        )
+        executor.run(plan_single_clone(slow_graph(150)))
+        assert len(executor.events) <= 1
+
+    def test_no_adaptation_when_not_hot(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(30))
+        graph.add(FunctionTransform("fast", lambda i: [i]))
+        graph.add(CollectSink())
+        graph.connect("src", "fast")
+        graph.connect("fast", "sink")
+        executor = AdaptiveExecutor(
+            max_extra_clones=3, occupancy_threshold=0.95, patience=50
+        )
+        outcome = executor.run(plan_single_clone(graph))
+        assert outcome.value == list(range(30))
+        assert executor.events == []
+
+    def test_zero_extra_clones_behaves_like_base(self):
+        executor = AdaptiveExecutor(max_extra_clones=0)
+        outcome = executor.run(plan_single_clone(slow_graph(40)))
+        assert outcome.value == list(range(40))
+        assert executor.events == []
+
+    def test_failure_propagates_and_terminates(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(50))
+        graph.add(ExplodingTransform())
+        graph.add(CollectSink())
+        graph.connect("src", "boom")
+        graph.connect("boom", "sink")
+        executor = AdaptiveExecutor()
+        started = time.perf_counter()
+        with pytest.raises(ExecutionError):
+            executor.run(plan_single_clone(graph))
+        assert time.perf_counter() - started < 10.0
+
+    def test_multi_stage_pipeline_terminates(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(60))
+        graph.add(SlowTransform(delay=0.001, name="stage1"), cost_hint=4.0)
+        graph.add(SlowTransform(delay=0.001, name="stage2"), cost_hint=4.0)
+        graph.add(CollectSink())
+        graph.connect("src", "stage1")
+        graph.connect("stage1", "stage2")
+        graph.connect("stage2", "sink")
+        executor = AdaptiveExecutor(
+            max_extra_clones=1, occupancy_threshold=0.3, patience=1
+        )
+        outcome = executor.run(plan_single_clone(graph))
+        assert outcome.value == list(range(60))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_extra_clones"):
+            AdaptiveExecutor(max_extra_clones=-1)
+        with pytest.raises(ValueError, match="occupancy_threshold"):
+            AdaptiveExecutor(occupancy_threshold=0.0)
+        with pytest.raises(ValueError, match="patience"):
+            AdaptiveExecutor(patience=0)
+        with pytest.raises(ValueError, match="sample_interval"):
+            AdaptiveExecutor(sample_interval=0.0)
+
+    def test_adaptive_partial_merge_pipeline(self, blobs_6d):
+        """The paper's query under the adaptive executor."""
+        import numpy as np
+
+        from repro.stream.kmeans_ops import build_partial_merge_graph
+
+        cells = {"cell": blobs_6d}
+        graph = build_partial_merge_graph(
+            cells, k=5, restarts=2, n_chunks=6, seed=0, max_iter=50
+        )
+        plan = Planner(ResourceManager(worker_slots=1)).plan(graph)
+        executor = AdaptiveExecutor(
+            max_extra_clones=2, occupancy_threshold=0.1, patience=1,
+            sample_interval=0.002,
+        )
+        outcome = executor.run(plan)
+        models = outcome.value
+        assert models["cell"].weights.sum() == pytest.approx(
+            blobs_6d.shape[0]
+        )

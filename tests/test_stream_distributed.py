@@ -1,0 +1,145 @@
+"""Tests for the shared-nothing cluster simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.distributed import (
+    ClusterSpec,
+    DistributedSimulation,
+    MachineSpec,
+    NetworkSpec,
+    calibrate_ops_per_second,
+    paper_testbed,
+)
+
+
+class TestSpecs:
+    def test_paper_testbed_shape(self):
+        cluster = paper_testbed(4)
+        assert cluster.n_machines == 4
+        assert cluster.machines[0].name == "pc0"
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ops_per_second"):
+            MachineSpec(name="m", ops_per_second=0)
+        with pytest.raises(ValueError, match="latency"):
+            NetworkSpec(latency_seconds=-1)
+        with pytest.raises(ValueError, match="bandwidth"):
+            NetworkSpec(bandwidth_bytes_per_second=0)
+        with pytest.raises(ValueError, match="at least one machine"):
+            ClusterSpec(machines=())
+        with pytest.raises(ValueError, match="n_machines"):
+            paper_testbed(0)
+
+    def test_transfer_time(self):
+        network = NetworkSpec(
+            latency_seconds=0.001, bandwidth_bytes_per_second=1e6
+        )
+        assert network.transfer_seconds(1e6) == pytest.approx(1.001)
+
+
+class TestPartialMergeSimulation:
+    def _run(self, n_machines: int, n_chunks: int = 8):
+        sim = DistributedSimulation(paper_testbed(n_machines))
+        return sim.simulate_partial_merge(
+            n_points=50_000,
+            dim=6,
+            k=40,
+            n_chunks=n_chunks,
+            restarts=10,
+            partial_iterations=15.0,
+        )
+
+    def test_single_machine_has_no_network(self):
+        report = self._run(1)
+        assert report.network_bytes == 0.0
+        assert report.makespan_seconds > 0
+
+    def test_two_machines_near_double(self):
+        one = self._run(1)
+        two = self._run(2)
+        speedup = one.makespan_seconds / two.makespan_seconds
+        assert 1.7 < speedup <= 2.05
+
+    def test_four_machines_monotone(self):
+        times = [self._run(m).makespan_seconds for m in (1, 2, 4)]
+        assert times[0] > times[1] > times[2]
+
+    def test_chunk_imbalance_caps_speedup(self):
+        """10 chunks on 4 machines: the 3-chunk machines bound the makespan."""
+        one = self._run(1, n_chunks=10)
+        four = self._run(4, n_chunks=10)
+        speedup = one.makespan_seconds / four.makespan_seconds
+        assert speedup <= 10 / 3 + 0.1
+
+    def test_utilization_bounded(self):
+        report = self._run(4)
+        for value in report.utilization().values():
+            assert 0.0 <= value <= 1.0
+
+    def test_events_cover_all_chunks(self):
+        report = self._run(2, n_chunks=6)
+        partials = [e for e in report.events if e.kind == "partial"]
+        assert len(partials) == 6
+        merges = [e for e in report.events if e.kind == "merge"]
+        assert len(merges) == 1
+        assert merges[0].machine == "pc0"
+
+    def test_merge_starts_after_last_centroid(self):
+        report = self._run(3, n_chunks=6)
+        merge = next(e for e in report.events if e.kind == "merge")
+        last_partial_end = max(
+            e.end for e in report.events if e.kind == "partial"
+        )
+        assert merge.start >= last_partial_end
+
+    def test_rejects_bad_chunks(self):
+        sim = DistributedSimulation(paper_testbed(2))
+        with pytest.raises(ValueError, match="n_chunks"):
+            sim.simulate_partial_merge(
+                n_points=100, dim=2, k=4, n_chunks=0,
+                restarts=1, partial_iterations=5.0,
+            )
+
+
+class TestMethodCSimulation:
+    def test_network_cost_scales_with_iterations(self):
+        """Per-iteration traffic grows linearly on top of the fixed
+        initial shard distribution."""
+        sim = DistributedSimulation(paper_testbed(4))
+        ten = sim.simulate_method_c(50_000, 6, 40, iterations=10)
+        thirty = sim.simulate_method_c(50_000, 6, 40, iterations=30)
+        fifty = sim.simulate_method_c(50_000, 6, 40, iterations=50)
+        first_step = thirty.network_bytes - ten.network_bytes
+        second_step = fifty.network_bytes - thirty.network_bytes
+        assert first_step > 0
+        assert second_step == pytest.approx(first_step, rel=1e-9)
+
+    def test_method_c_moves_more_bytes_than_partial_merge(self):
+        """The paper's communication argument on equal hardware."""
+        sim = DistributedSimulation(paper_testbed(4))
+        partial = sim.simulate_partial_merge(
+            n_points=50_000, dim=6, k=40, n_chunks=8,
+            restarts=10, partial_iterations=15.0,
+        )
+        method_c = sim.simulate_method_c(50_000, 6, 40, iterations=40)
+        assert method_c.network_bytes > partial.network_bytes
+
+    def test_single_slave_has_no_broadcasts(self):
+        sim = DistributedSimulation(paper_testbed(1))
+        report = sim.simulate_method_c(10_000, 6, 40, iterations=10)
+        assert report.network_bytes == 0.0
+
+    def test_validation(self):
+        sim = DistributedSimulation(paper_testbed(2))
+        with pytest.raises(ValueError, match="iterations"):
+            sim.simulate_method_c(100, 2, 4, iterations=0)
+        with pytest.raises(ValueError, match="migration_fraction"):
+            sim.simulate_method_c(100, 2, 4, iterations=5, migration_fraction=2.0)
+
+
+class TestCalibration:
+    def test_calibration_positive_and_plausible(self):
+        ops = calibrate_ops_per_second(n_points=2_000, k=10)
+        assert 1e5 < ops < 1e12

@@ -1,0 +1,205 @@
+"""Failure-injection tests: every operator role, every failure point."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.stream.errors import ExecutionError
+from repro.stream.executor import Executor
+from repro.stream.graph import DataflowGraph
+from repro.stream.operators import FunctionTransform, Sink, Source, Transform
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+
+
+class RangeSource(Source):
+    def __init__(self, n: int, name: str = "src", fail_at: int | None = None):
+        super().__init__(name)
+        self.n = n
+        self.fail_at = fail_at
+
+    def generate(self):
+        for value in range(self.n):
+            if self.fail_at is not None and value == self.fail_at:
+                raise IOError("disk error mid-scan")
+            yield value
+
+
+class CollectSink(Sink):
+    def __init__(
+        self,
+        name: str = "sink",
+        fail_on_consume: bool = False,
+        fail_on_result: bool = False,
+    ):
+        super().__init__(name)
+        self.items = []
+        self.fail_on_consume = fail_on_consume
+        self.fail_on_result = fail_on_result
+
+    def consume(self, item):
+        if self.fail_on_consume:
+            raise RuntimeError("sink rejected an item")
+        self.items.append(item)
+
+    def result(self):
+        if self.fail_on_result:
+            raise RuntimeError("result assembly failed")
+        return self.items
+
+
+class FailOnFinishTransform(Transform):
+    parallelizable = False
+
+    def __init__(self, name: str = "flaky"):
+        super().__init__(name)
+
+    def process(self, item):
+        return [item]
+
+    def finish(self):
+        raise RuntimeError("flush failed")
+
+
+def build(source, transform, sink) -> DataflowGraph:
+    graph = DataflowGraph()
+    graph.add(source)
+    graph.add(transform)
+    graph.add(sink)
+    graph.connect(source.name, transform.name)
+    graph.connect(transform.name, sink.name)
+    return graph
+
+
+def run(graph):
+    plan = Planner(ResourceManager(worker_slots=3)).plan(graph)
+    return Executor().run(plan)
+
+
+class TestFailureInjection:
+    def test_source_failure_mid_stream(self):
+        graph = build(
+            RangeSource(100, fail_at=10),
+            FunctionTransform("id", lambda i: [i]),
+            CollectSink(),
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph)
+        assert any("src" in f.operator_name for f in excinfo.value.failures)
+
+    def test_sink_consume_failure(self):
+        graph = build(
+            RangeSource(20),
+            FunctionTransform("id", lambda i: [i]),
+            CollectSink(fail_on_consume=True),
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph)
+        assert any("sink" in f.operator_name for f in excinfo.value.failures)
+
+    def test_sink_result_failure(self):
+        graph = build(
+            RangeSource(5),
+            FunctionTransform("id", lambda i: [i]),
+            CollectSink(fail_on_result=True),
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph)
+        assert any("sink" in f.operator_name for f in excinfo.value.failures)
+
+    def test_transform_finish_failure(self):
+        graph = build(
+            RangeSource(5),
+            FailOnFinishTransform(),
+            CollectSink(),
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph)
+        assert any("flaky" in f.operator_name for f in excinfo.value.failures)
+
+    def test_failure_cause_preserved(self):
+        graph = build(
+            RangeSource(100, fail_at=0),
+            FunctionTransform("id", lambda i: [i]),
+            CollectSink(),
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph)
+        failure = excinfo.value.failures[0]
+        assert isinstance(failure.__cause__, IOError)
+        assert "disk error" in str(failure.__cause__)
+
+    def test_all_failures_terminate_quickly(self):
+        """No failure mode may leave the executor hanging on a queue."""
+        scenarios = [
+            build(RangeSource(10_000, fail_at=5),
+                  FunctionTransform("id", lambda i: [i]), CollectSink()),
+            build(RangeSource(10_000),
+                  FunctionTransform("id", lambda i: [i]),
+                  CollectSink(fail_on_consume=True)),
+        ]
+        for graph in scenarios:
+            started = time.perf_counter()
+            with pytest.raises(ExecutionError):
+                run(graph)
+            assert time.perf_counter() - started < 10.0
+
+
+class FlakyTransform(Transform):
+    """Fails the first ``failures_per_item`` attempts on each item."""
+
+    max_retries = 3
+
+    def __init__(self, failures_per_item: int, name: str = "flaky-net"):
+        super().__init__(name)
+        self.failures_per_item = failures_per_item
+        self.attempts: dict[int, int] = {}
+
+    def process(self, item):
+        seen = self.attempts.get(item, 0)
+        self.attempts[item] = seen + 1
+        if seen < self.failures_per_item:
+            raise ConnectionError("transient")
+        return [item]
+
+
+class TestRetries:
+    def test_transient_failures_retried(self):
+        graph = build(RangeSource(10), FlakyTransform(2), CollectSink())
+        outcome = run(graph)
+        assert outcome.value == list(range(10))
+
+    def test_exhausted_retries_fail_plan(self):
+        graph = build(RangeSource(5), FlakyTransform(10), CollectSink())
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph)
+        assert isinstance(excinfo.value.failures[0].__cause__, ConnectionError)
+
+    def test_non_retryable_error_fails_fast(self):
+        class Picky(FlakyTransform):
+            retryable_errors = (TimeoutError,)
+
+        picky = Picky(1)
+        graph = build(RangeSource(5), picky, CollectSink())
+        with pytest.raises(ExecutionError):
+            run(graph)
+        # Only one attempt per item processed before the failure.
+        assert max(picky.attempts.values()) == 1
+
+    def test_default_transform_fails_fast(self):
+        class OneShot(Transform):
+            def __init__(self):
+                super().__init__("oneshot")
+                self.calls = 0
+
+            def process(self, item):
+                self.calls += 1
+                raise RuntimeError("permanent")
+
+        operator = OneShot()
+        graph = build(RangeSource(5), operator, CollectSink())
+        with pytest.raises(ExecutionError):
+            run(graph)
+        assert operator.calls == 1

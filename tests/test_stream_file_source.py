@@ -1,0 +1,88 @@
+"""Tests for the disk-backed bucket-file scan operator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_cell_points
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import write_bucket_dir
+from repro.stream.file_source import BucketFileSource
+from repro.stream.executor import Executor
+from repro.stream.graph import DataflowGraph
+from repro.stream.kmeans_ops import MergeKMeansSink, PartialKMeansOperator
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+
+
+@pytest.fixture
+def bucket_dir(tmp_path):
+    cells = [
+        GridCell(GridCellId(10, 20), generate_cell_points(800, seed=1)),
+        GridCell(GridCellId(11, 20), generate_cell_points(300, seed=2)),
+    ]
+    write_bucket_dir(tmp_path, cells)
+    return tmp_path, cells
+
+
+class TestBucketFileSource:
+    def test_emits_every_point_once(self, bucket_dir):
+        directory, cells = bucket_dir
+        source = BucketFileSource(directory, n_chunks=4)
+        chunks = list(source.generate())
+        for cell in cells:
+            emitted = sum(
+                c.n_points for c in chunks if c.cell_id == cell.cell_id.key
+            )
+            assert emitted == cell.n_points
+
+    def test_fixed_chunk_count(self, bucket_dir):
+        directory, __ = bucket_dir
+        source = BucketFileSource(directory, n_chunks=4)
+        by_cell: dict[str, list] = {}
+        for chunk in source.generate():
+            by_cell.setdefault(chunk.cell_id, []).append(chunk)
+        for chunks in by_cell.values():
+            assert len(chunks) == 4
+            assert all(c.n_partitions == 4 for c in chunks)
+
+    def test_memory_budget_bounds_chunks(self, bucket_dir):
+        directory, __ = bucket_dir
+        resources = ResourceManager(memory_budget_bytes=16 * 1024)
+        source = BucketFileSource(directory, resources=resources)
+        cap = resources.max_points_per_partition(6)
+        for chunk in source.generate():
+            assert chunk.n_points <= cap
+
+    def test_empty_directory_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no .gbk"):
+            BucketFileSource(tmp_path)
+
+    def test_bad_n_chunks_rejected(self, bucket_dir):
+        directory, __ = bucket_dir
+        with pytest.raises(ValueError, match="n_chunks"):
+            BucketFileSource(directory, n_chunks=0)
+
+    def test_full_pipeline_from_disk(self, bucket_dir):
+        """Files on disk -> scan -> partial -> merge, end to end."""
+        directory, cells = bucket_dir
+        graph = DataflowGraph()
+        graph.add(BucketFileSource(directory, n_chunks=3))
+        graph.add(
+            PartialKMeansOperator(
+                k=6, restarts=2, seed_sequence=np.random.SeedSequence(0)
+            ),
+            cost_hint=16.0,
+        )
+        graph.add(MergeKMeansSink(k=6))
+        graph.connect("scan-files", "partial")
+        graph.connect("partial", "merge")
+
+        plan = Planner(ResourceManager(worker_slots=3)).plan(graph)
+        outcome = Executor().run(plan)
+        models = outcome.value
+        assert set(models) == {c.cell_id.key for c in cells}
+        for cell in cells:
+            model = models[cell.cell_id.key]
+            assert model.weights.sum() == pytest.approx(cell.n_points)

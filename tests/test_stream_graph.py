@@ -1,0 +1,165 @@
+"""Unit tests for the logical dataflow graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.stream.errors import GraphValidationError
+from repro.stream.graph import DataflowGraph
+from repro.stream.operators import FunctionTransform, Sink, Source
+
+
+class _ListSource(Source):
+    def __init__(self, name="src", items=()):
+        super().__init__(name)
+        self._items = list(items)
+
+    def generate(self):
+        yield from self._items
+
+
+class _CollectSink(Sink):
+    def __init__(self, name="sink"):
+        super().__init__(name)
+        self.items = []
+
+    def consume(self, item):
+        self.items.append(item)
+
+    def result(self):
+        return self.items
+
+
+def _identity(name="xform"):
+    return FunctionTransform(name, lambda item: [item])
+
+
+def build_linear() -> DataflowGraph:
+    graph = DataflowGraph()
+    graph.add(_ListSource())
+    graph.add(_identity())
+    graph.add(_CollectSink())
+    graph.connect("src", "xform")
+    graph.connect("xform", "sink")
+    return graph
+
+
+class TestConstruction:
+    def test_valid_linear_graph(self):
+        graph = build_linear()
+        graph.validate()
+        assert graph.sink() == "sink"
+        assert graph.sources() == ["src"]
+
+    def test_duplicate_name_rejected(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        with pytest.raises(GraphValidationError, match="duplicate"):
+            graph.add(_ListSource())
+
+    def test_unknown_operator_in_connect(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        with pytest.raises(GraphValidationError, match="unknown"):
+            graph.connect("src", "nope")
+
+    def test_self_loop_rejected(self):
+        graph = DataflowGraph()
+        graph.add(_identity())
+        with pytest.raises(GraphValidationError, match="self-loop"):
+            graph.connect("xform", "xform")
+
+    def test_fan_out_rejected(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        graph.add(_identity("a"))
+        graph.add(_identity("b"))
+        graph.connect("src", "a")
+        with pytest.raises(GraphValidationError, match="fan-out"):
+            graph.connect("src", "b")
+
+    def test_fan_in_allowed(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource("src1"))
+        graph.add(_ListSource("src2"))
+        graph.add(_CollectSink())
+        graph.connect("src1", "sink")
+        graph.connect("src2", "sink")
+        graph.validate()
+        assert graph.upstream_of("sink") == ["src1", "src2"]
+
+    def test_sink_cannot_produce(self):
+        graph = DataflowGraph()
+        graph.add(_CollectSink())
+        graph.add(_identity())
+        with pytest.raises(GraphValidationError, match="sink"):
+            graph.connect("sink", "xform")
+
+    def test_source_cannot_consume(self):
+        graph = DataflowGraph()
+        graph.add(_identity())
+        graph.add(_ListSource())
+        with pytest.raises(GraphValidationError, match="source"):
+            graph.connect("xform", "src")
+
+    def test_nonpositive_cost_hint_rejected(self):
+        graph = DataflowGraph()
+        with pytest.raises(GraphValidationError, match="cost_hint"):
+            graph.add(_ListSource(), cost_hint=0.0)
+
+
+class TestValidation:
+    def test_empty_graph(self):
+        with pytest.raises(GraphValidationError, match="empty"):
+            DataflowGraph().validate()
+
+    def test_missing_sink(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        with pytest.raises(GraphValidationError, match="exactly one sink"):
+            graph.validate()
+
+    def test_two_sinks(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        graph.add(_CollectSink("s1"))
+        graph.add(_CollectSink("s2"))
+        graph.connect("src", "s1")
+        with pytest.raises(GraphValidationError, match="exactly one sink"):
+            graph.validate()
+
+    def test_transform_without_producer(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        graph.add(_identity())
+        graph.add(_CollectSink())
+        graph.connect("src", "sink")  # xform left dangling
+        with pytest.raises(GraphValidationError):
+            graph.validate()
+
+    def test_source_without_consumer(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource())
+        graph.add(_ListSource("src2"))
+        graph.add(_CollectSink())
+        graph.connect("src", "sink")
+        with pytest.raises(GraphValidationError, match="no consumer"):
+            graph.validate()
+
+    def test_no_source(self):
+        graph = DataflowGraph()
+        graph.add(_identity())
+        graph.add(_CollectSink())
+        graph.connect("xform", "sink")
+        with pytest.raises(GraphValidationError):
+            graph.validate()
+
+    def test_cost_hints_retrievable(self):
+        graph = DataflowGraph()
+        graph.add(_ListSource(), cost_hint=2.0)
+        assert graph.cost_hint("src") == 2.0
+
+    def test_downstream_lookup(self):
+        graph = build_linear()
+        assert graph.downstream_of("src") == "xform"
+        assert graph.downstream_of("sink") is None

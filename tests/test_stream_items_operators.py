@@ -1,0 +1,117 @@
+"""Tests for stream items and the operator base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.model import WeightedCentroidSet
+from repro.stream.items import CentroidMessage, DataChunk, Watermark
+from repro.stream.operators import (
+    FunctionTransform,
+    Operator,
+    Sink,
+    Source,
+    Transform,
+)
+
+
+class TestDataChunk:
+    def test_valid_chunk(self):
+        chunk = DataChunk(
+            cell_id="c", partition=2, points=np.ones((5, 3)), n_partitions=4
+        )
+        assert chunk.n_points == 5
+        assert chunk.partition == 2
+
+    def test_rejects_negative_partition(self):
+        with pytest.raises(ValueError, match="partition"):
+            DataChunk(cell_id="c", partition=-1, points=np.ones((2, 2)))
+
+    def test_rejects_empty_points(self):
+        with pytest.raises(ValueError):
+            DataChunk(cell_id="c", partition=0, points=np.empty((0, 3)))
+
+    def test_frozen(self):
+        chunk = DataChunk(cell_id="c", partition=0, points=np.ones((2, 2)))
+        with pytest.raises(AttributeError):
+            chunk.cell_id = "other"
+
+
+class TestCentroidMessage:
+    def test_carries_summary(self):
+        summary = WeightedCentroidSet(np.ones((2, 3)), np.array([1.0, 2.0]))
+        message = CentroidMessage(
+            cell_id="c", partition=0, summary=summary, n_partitions=2
+        )
+        assert message.summary.total_weight == 3.0
+        assert message.partial_seconds == 0.0
+
+
+class TestWatermark:
+    def test_defaults(self):
+        mark = Watermark(cell_id="c", n_partitions=5)
+        assert mark.payload == {}
+
+
+class TestOperatorBases:
+    def test_operator_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            Operator("")
+
+    def test_default_clone_returns_self_for_stateless(self):
+        operator = Operator("op")
+        assert operator.clone() is operator
+
+    def test_nonparallelizable_clone_raises(self):
+        class Singleton(Operator):
+            parallelizable = False
+
+        with pytest.raises(TypeError, match="not parallelizable"):
+            Singleton("s").clone()
+
+    def test_source_is_not_parallelizable(self):
+        class MySource(Source):
+            def generate(self):
+                yield 1
+
+        assert not MySource("s").parallelizable
+
+    def test_sink_is_not_parallelizable(self):
+        class MySink(Sink):
+            def consume(self, item):
+                pass
+
+            def result(self):
+                return None
+
+        assert not MySink("s").parallelizable
+
+    def test_transform_finish_defaults_empty(self):
+        class MyTransform(Transform):
+            def process(self, item):
+                return [item]
+
+        assert list(MyTransform("t").finish()) == []
+
+    def test_abstract_methods_raise(self):
+        with pytest.raises(NotImplementedError):
+            next(iter(Source("s").generate()))
+        with pytest.raises(NotImplementedError):
+            Transform("t").process(1)
+        with pytest.raises(NotImplementedError):
+            Sink("k").consume(1)
+        with pytest.raises(NotImplementedError):
+            Sink("k").result()
+
+
+class TestFunctionTransform:
+    def test_wraps_function(self):
+        transform = FunctionTransform("triple", lambda item: [item] * 3)
+        assert list(transform.process("x")) == ["x", "x", "x"]
+
+    def test_clone_is_fresh_instance_same_function(self):
+        transform = FunctionTransform("t", lambda item: [item + 1])
+        clone = transform.clone()
+        assert clone is not transform
+        assert list(clone.process(1)) == [2]

@@ -1,0 +1,214 @@
+"""Tests for the planner and executor working together."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.stream.errors import ExecutionError
+from repro.stream.executor import Executor
+from repro.stream.graph import DataflowGraph
+from repro.stream.operators import FunctionTransform, Sink, Source, Transform
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+
+
+class RangeSource(Source):
+    def __init__(self, n: int, name: str = "src"):
+        super().__init__(name)
+        self.n = n
+
+    def generate(self):
+        yield from range(self.n)
+
+
+class CollectSink(Sink):
+    def __init__(self, name: str = "sink"):
+        super().__init__(name)
+        self.items = []
+
+    def consume(self, item):
+        self.items.append(item)
+
+    def result(self):
+        return sorted(self.items)
+
+
+class ExplodingTransform(Transform):
+    def __init__(self, name: str = "boom"):
+        super().__init__(name)
+
+    def process(self, item):
+        raise RuntimeError("deliberate failure")
+
+
+class StatefulBuffering(Transform):
+    """Buffers everything, emits at finish — exercises the flush path."""
+
+    parallelizable = False
+
+    def __init__(self, name: str = "buffer"):
+        super().__init__(name)
+        self._held = []
+
+    def process(self, item):
+        self._held.append(item)
+        return ()
+
+    def finish(self):
+        return [sum(self._held)]
+
+
+def linear_graph(n: int = 20, fn=None):
+    graph = DataflowGraph()
+    graph.add(RangeSource(n))
+    graph.add(FunctionTransform("double", fn or (lambda item: [item * 2])))
+    graph.add(CollectSink())
+    graph.connect("src", "double")
+    graph.connect("double", "sink")
+    return graph
+
+
+class TestPlanner:
+    def test_singletons_for_source_and_sink(self):
+        plan = Planner(ResourceManager(worker_slots=8)).plan(linear_graph())
+        assert plan.clone_counts["src"] == 1
+        assert plan.clone_counts["sink"] == 1
+
+    def test_clones_awarded_to_transform(self):
+        plan = Planner(ResourceManager(worker_slots=8)).plan(linear_graph())
+        assert plan.clone_counts["double"] == 6  # 8 slots - src - sink
+
+    def test_clone_override_respected(self):
+        plan = Planner(ResourceManager(worker_slots=8)).plan(
+            linear_graph(), clone_overrides={"double": 3}
+        )
+        assert plan.clone_counts["double"] == 3
+
+    def test_override_on_singleton_clamped(self):
+        graph = linear_graph()
+        plan = Planner(ResourceManager(worker_slots=8)).plan(
+            graph, clone_overrides={"sink": 5}
+        )
+        assert plan.clone_counts["sink"] == 1
+
+    def test_cost_hints_bias_clone_split(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(5))
+        graph.add(FunctionTransform("cheap", lambda i: [i]), cost_hint=1.0)
+        graph.add(FunctionTransform("dear", lambda i: [i]), cost_hint=10.0)
+        graph.add(CollectSink())
+        graph.connect("src", "cheap")
+        graph.connect("cheap", "dear")
+        graph.connect("dear", "sink")
+        plan = Planner(ResourceManager(worker_slots=12)).plan(graph)
+        assert plan.clone_counts["dear"] > plan.clone_counts["cheap"]
+
+    def test_minimum_one_instance_each(self):
+        plan = Planner(ResourceManager(worker_slots=1)).plan(linear_graph())
+        assert all(count >= 1 for count in plan.clone_counts.values())
+
+    def test_describe_mentions_operators(self):
+        plan = Planner(ResourceManager(worker_slots=4)).plan(linear_graph())
+        text = plan.describe()
+        for name in ("src", "double", "sink"):
+            assert name in text
+
+    def test_physical_names_unique(self):
+        plan = Planner(ResourceManager(worker_slots=8)).plan(linear_graph())
+        names = [op.name for op in plan.operators]
+        assert len(names) == len(set(names))
+
+
+class TestExecutor:
+    def test_linear_pipeline_result(self):
+        plan = Planner(ResourceManager(worker_slots=4)).plan(linear_graph(20))
+        outcome = Executor().run(plan)
+        assert outcome.value == [i * 2 for i in range(20)]
+
+    def test_result_independent_of_clone_count(self):
+        for slots in (1, 3, 8):
+            plan = Planner(ResourceManager(worker_slots=slots)).plan(
+                linear_graph(30)
+            )
+            outcome = Executor().run(plan)
+            assert outcome.value == [i * 2 for i in range(30)]
+
+    def test_metrics_populated(self):
+        plan = Planner(ResourceManager(worker_slots=2)).plan(linear_graph(10))
+        outcome = Executor().run(plan)
+        metrics = outcome.metrics
+        assert metrics.wall_seconds > 0.0
+        total_out = sum(
+            op.items_out for op in metrics.operators if op.name.startswith("double")
+        )
+        assert total_out == 10
+        assert "q->double" in metrics.queues
+        assert metrics.queues["q->sink"].puts == 10
+
+    def test_operator_failure_surfaces(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(5))
+        graph.add(ExplodingTransform())
+        graph.add(CollectSink())
+        graph.connect("src", "boom")
+        graph.connect("boom", "sink")
+        plan = Planner(ResourceManager(worker_slots=2)).plan(graph)
+        with pytest.raises(ExecutionError) as excinfo:
+            Executor().run(plan)
+        assert any("boom" in f.operator_name for f in excinfo.value.failures)
+
+    def test_failure_does_not_hang_other_operators(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(10_000))
+        graph.add(ExplodingTransform())
+        graph.add(CollectSink())
+        graph.connect("src", "boom")
+        graph.connect("boom", "sink")
+        plan = Planner(ResourceManager(worker_slots=2)).plan(graph)
+        started = time.perf_counter()
+        with pytest.raises(ExecutionError):
+            Executor().run(plan)
+        assert time.perf_counter() - started < 10.0
+
+    def test_transform_finish_flush(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(10))
+        graph.add(StatefulBuffering())
+        graph.add(CollectSink())
+        graph.connect("src", "buffer")
+        graph.connect("buffer", "sink")
+        plan = Planner(ResourceManager(worker_slots=4)).plan(graph)
+        outcome = Executor().run(plan)
+        assert outcome.value == [sum(range(10))]
+
+    def test_fan_in_merges_streams(self):
+        graph = DataflowGraph()
+        graph.add(RangeSource(5, name="a"))
+        graph.add(RangeSource(5, name="b"))
+        graph.add(CollectSink())
+        graph.connect("a", "sink")
+        graph.connect("b", "sink")
+        plan = Planner(ResourceManager(worker_slots=4)).plan(graph)
+        outcome = Executor().run(plan)
+        assert outcome.value == sorted(list(range(5)) * 2)
+
+    def test_empty_source(self):
+        plan = Planner(ResourceManager(worker_slots=2)).plan(linear_graph(0))
+        outcome = Executor().run(plan)
+        assert outcome.value == []
+
+    def test_executes_on_worker_threads(self):
+        seen_threads = set()
+
+        def record(item):
+            seen_threads.add(threading.current_thread().name)
+            return [item]
+
+        plan = Planner(ResourceManager(worker_slots=4)).plan(
+            linear_graph(20, fn=record)
+        )
+        Executor().run(plan)
+        assert all(name.startswith("stream-") for name in seen_threads)

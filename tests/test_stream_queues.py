@@ -1,0 +1,222 @@
+"""Unit tests for SmartQueue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.stream.errors import QueueClosedError
+from repro.stream.queues import END_OF_STREAM, SmartQueue
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = SmartQueue(capacity=8)
+        queue.register_producer()
+        for value in (1, 2, 3):
+            queue.put(value)
+        queue.producer_done()
+        assert [queue.get() for __ in range(3)] == [1, 2, 3]
+        assert queue.get() is END_OF_STREAM
+
+    def test_iteration_stops_at_eos(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.put("a")
+        queue.put("b")
+        queue.producer_done()
+        assert list(queue) == ["a", "b"]
+
+    def test_len_reflects_buffer(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.put(1)
+        queue.put(2)
+        assert len(queue) == 2
+        queue.get()
+        assert len(queue) == 1
+
+    def test_rejects_capacity_zero(self):
+        with pytest.raises(ValueError, match="capacity"):
+            SmartQueue(capacity=0)
+
+
+class TestMultiProducer:
+    def test_closes_only_after_all_producers_done(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.register_producer()
+        queue.put(1)
+        queue.producer_done()
+        assert not queue.closed
+        queue.put(2)  # second producer still live
+        queue.producer_done()
+        assert queue.closed
+        assert queue.get() == 1
+        assert queue.get() == 2
+        assert queue.get() is END_OF_STREAM
+
+    def test_put_after_close_raises(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.producer_done()
+        with pytest.raises(QueueClosedError, match="closed"):
+            queue.put(1)
+
+    def test_extra_producer_done_raises(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.producer_done()
+        with pytest.raises(QueueClosedError, match="more times"):
+            queue.producer_done()
+
+
+class TestBackpressure:
+    def test_put_blocks_until_consumer_drains(self):
+        queue = SmartQueue(capacity=1)
+        queue.register_producer()
+        queue.put(1)
+        unblocked = threading.Event()
+
+        def producer():
+            queue.put(2)
+            unblocked.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        assert not unblocked.is_set()  # still blocked on full buffer
+        assert queue.get() == 1
+        thread.join(timeout=2)
+        assert unblocked.is_set()
+        assert queue.stats.producer_block_seconds > 0.0
+
+    def test_put_timeout_raises(self):
+        queue = SmartQueue(capacity=1)
+        queue.register_producer()
+        queue.put(1)
+        with pytest.raises(QueueClosedError, match="timed out"):
+            queue.put(2, timeout=0.05)
+
+    def test_get_timeout_raises(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        with pytest.raises(QueueClosedError, match="timed out"):
+            queue.get(timeout=0.05)
+
+    def test_get_blocks_until_item_arrives(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        received = []
+
+        def consumer():
+            received.append(queue.get())
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.put("late")
+        thread.join(timeout=2)
+        assert received == ["late"]
+        assert queue.stats.consumer_block_seconds > 0.0
+
+
+class TestAbort:
+    def test_abort_unblocks_consumer(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        errors = []
+
+        def consumer():
+            try:
+                queue.get()
+            except QueueClosedError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=consumer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.abort()
+        thread.join(timeout=2)
+        assert len(errors) == 1
+
+    def test_abort_unblocks_producer(self):
+        queue = SmartQueue(capacity=1)
+        queue.register_producer()
+        queue.put(1)
+        errors = []
+
+        def producer():
+            try:
+                queue.put(2)
+            except QueueClosedError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        queue.abort()
+        thread.join(timeout=2)
+        assert len(errors) == 1
+
+    def test_abort_drops_buffer(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.put(1)
+        queue.abort()
+        with pytest.raises(QueueClosedError, match="aborted"):
+            queue.get()
+
+    def test_closed_after_abort(self):
+        queue = SmartQueue()
+        queue.abort()
+        assert queue.closed
+
+
+class TestStats:
+    def test_counts_and_high_water(self):
+        queue = SmartQueue(capacity=8)
+        queue.register_producer()
+        for value in range(5):
+            queue.put(value)
+        for __ in range(2):
+            queue.get()
+        assert queue.stats.puts == 5
+        assert queue.stats.gets == 2
+        assert queue.stats.high_water_mark == 5
+
+
+class TestConcurrency:
+    def test_many_producers_many_consumers(self):
+        queue = SmartQueue(capacity=4)
+        n_producers, items_each = 4, 50
+        for __ in range(n_producers):
+            queue.register_producer()
+        consumed: list[int] = []
+        lock = threading.Lock()
+
+        def producer(base: int):
+            for i in range(items_each):
+                queue.put(base * 1000 + i)
+            queue.producer_done()
+
+        def consumer():
+            while True:
+                item = queue.get()
+                if item is END_OF_STREAM:
+                    return
+                with lock:
+                    consumed.append(item)
+
+        threads = [
+            threading.Thread(target=producer, args=(p,), daemon=True)
+            for p in range(n_producers)
+        ] + [threading.Thread(target=consumer, daemon=True) for __ in range(3)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert len(consumed) == n_producers * items_each
+        assert len(set(consumed)) == n_producers * items_each

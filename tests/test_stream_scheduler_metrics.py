@@ -1,0 +1,113 @@
+"""Tests for the resource manager and metrics containers."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.stream.metrics import ExecutionMetrics, OperatorMetrics, stopwatch
+from repro.stream.scheduler import DEFAULT_MEMORY_BUDGET, ResourceManager
+
+
+class TestResourceManager:
+    def test_defaults(self):
+        resources = ResourceManager()
+        assert resources.memory_budget_bytes == DEFAULT_MEMORY_BUDGET
+        assert resources.worker_slots >= 1
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError, match="unreasonably small"):
+            ResourceManager(memory_budget_bytes=10)
+
+    def test_rejects_negative_slots(self):
+        with pytest.raises(ValueError, match="worker_slots"):
+            ResourceManager(worker_slots=-1)
+
+    def test_max_points_scales_inverse_with_dim(self):
+        resources = ResourceManager(memory_budget_bytes=1024 * 1024)
+        assert resources.max_points_per_partition(
+            6
+        ) < resources.max_points_per_partition(3)
+
+    def test_max_points_at_least_one(self):
+        resources = ResourceManager(memory_budget_bytes=1024)
+        assert resources.max_points_per_partition(1000) >= 1
+
+    def test_partitions_ceil_division(self):
+        resources = ResourceManager(memory_budget_bytes=1024 * 1024)
+        cap = resources.max_points_per_partition(6)
+        assert resources.partitions_for(cap, 6) == 1
+        assert resources.partitions_for(cap + 1, 6) == 2
+
+    def test_partitions_fits_budget(self):
+        resources = ResourceManager(memory_budget_bytes=256 * 1024)
+        n_points, dim = 100_000, 6
+        parts = resources.partitions_for(n_points, dim)
+        per_part = -(-n_points // parts)
+        assert per_part <= resources.max_points_per_partition(dim)
+
+    def test_rejects_bad_dim_and_points(self):
+        resources = ResourceManager()
+        with pytest.raises(ValueError, match="dim"):
+            resources.max_points_per_partition(0)
+        with pytest.raises(ValueError, match="n_points"):
+            resources.partitions_for(0, 3)
+
+    def test_clones_available_reserves_singletons(self):
+        resources = ResourceManager(worker_slots=8)
+        assert resources.clones_available(reserved=2) == 6
+        assert resources.clones_available(reserved=100) == 1
+
+
+class TestOperatorMetrics:
+    def test_utilization_bounds(self):
+        metrics = OperatorMetrics(name="op")
+        metrics.started_at = 0.0
+        metrics.finished_at = 2.0
+        metrics.busy_seconds = 1.0
+        assert metrics.wall_seconds == 2.0
+        assert metrics.idle_seconds == 1.0
+        assert metrics.utilization == 0.5
+
+    def test_zero_wall_time(self):
+        metrics = OperatorMetrics(name="op")
+        assert metrics.wall_seconds == 0.0
+        assert metrics.utilization == 0.0
+
+    def test_utilization_capped_at_one(self):
+        metrics = OperatorMetrics(name="op")
+        metrics.started_at = 0.0
+        metrics.finished_at = 1.0
+        metrics.busy_seconds = 2.0  # timer overlap rounding
+        assert metrics.utilization == 1.0
+
+    def test_stopwatch_accumulates(self):
+        metrics = OperatorMetrics(name="op")
+        with stopwatch(metrics):
+            time.sleep(0.01)
+        with stopwatch(metrics):
+            time.sleep(0.01)
+        assert metrics.busy_seconds >= 0.02
+
+
+class TestExecutionMetrics:
+    def test_busy_seconds_for_aggregates_clones(self):
+        metrics = ExecutionMetrics(
+            operators=[
+                OperatorMetrics(name="partial#0", busy_seconds=1.0),
+                OperatorMetrics(name="partial#1", busy_seconds=2.0),
+                OperatorMetrics(name="partially-unrelated", busy_seconds=4.0),
+                OperatorMetrics(name="merge", busy_seconds=8.0),
+            ]
+        )
+        assert metrics.busy_seconds_for("partial") == 3.0
+        assert metrics.busy_seconds_for("merge") == 8.0
+
+    def test_summary_lines_mention_all_operators(self):
+        metrics = ExecutionMetrics(
+            wall_seconds=1.0,
+            operators=[OperatorMetrics(name="alpha"), OperatorMetrics(name="beta")],
+        )
+        text = "\n".join(metrics.summary_lines())
+        assert "alpha" in text and "beta" in text
