@@ -28,11 +28,14 @@ from repro.stream.distributed import (
 from repro.stream.errors import (
     ExecutionError,
     GraphValidationError,
+    InjectedFault,
     OperatorError,
+    OperatorTimeout,
     QueueClosedError,
     StreamError,
 )
 from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.faults import FaultPlan, FaultSpec, InjectionEvent
 from repro.stream.file_source import BucketFileSource
 from repro.stream.graph import DataflowGraph
 from repro.stream.items import CentroidMessage, DataChunk, ModelMessage, Watermark
@@ -48,6 +51,11 @@ from repro.stream.operators import FunctionTransform, Operator, Sink, Source, Tr
 from repro.stream.planner import PhysicalOperator, PhysicalPlan, Planner
 from repro.stream.query import Query, QueryError, QueryResult
 from repro.stream.queues import END_OF_STREAM, QueueStats, SmartQueue
+from repro.stream.supervision import (
+    RetryPolicy,
+    SupervisionPolicy,
+    Supervisor,
+)
 from repro.stream.tracing import dump_metrics_json, metrics_to_dict, render_gantt
 from repro.stream.scheduler import DEFAULT_MEMORY_BUDGET, ResourceManager
 
@@ -67,8 +75,16 @@ __all__ = [
     "QueueClosedError",
     "OperatorError",
     "ExecutionError",
+    "InjectedFault",
+    "OperatorTimeout",
     "ExecutionResult",
     "Executor",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionEvent",
+    "RetryPolicy",
+    "SupervisionPolicy",
+    "Supervisor",
     "BucketFileSource",
     "DataflowGraph",
     "CentroidMessage",

@@ -31,6 +31,7 @@ from repro.stream.executor import ExecutionResult, Executor
 from repro.stream.metrics import ExecutionMetrics, OperatorMetrics
 from repro.stream.operators import Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan
+from repro.stream.supervision import Supervisor
 
 __all__ = ["AdaptationEvent", "AdaptiveExecutor"]
 
@@ -72,6 +73,8 @@ class AdaptiveExecutor(Executor):
         sample_interval: monitor sampling period in seconds.
         patience: consecutive hot samples required before cloning (guards
             against transient bursts).
+        supervisor: per-operator supervision policies and default retry
+            policy (see :class:`~repro.stream.executor.Executor`).
     """
 
     def __init__(
@@ -80,7 +83,9 @@ class AdaptiveExecutor(Executor):
         occupancy_threshold: float = 0.75,
         sample_interval: float = 0.01,
         patience: int = 3,
+        supervisor: Supervisor | None = None,
     ) -> None:
+        super().__init__(supervisor=supervisor)
         if max_extra_clones < 0:
             raise ValueError("max_extra_clones must be >= 0")
         if not 0.0 < occupancy_threshold <= 1.0:
@@ -118,7 +123,7 @@ class AdaptiveExecutor(Executor):
             metrics = OperatorMetrics(name=physical.name)
             thread = threading.Thread(
                 target=self._run_operator,
-                args=(physical, metrics, record_failure, sink_box),
+                args=(physical, metrics, record_failure, sink_box, plan),
                 name=f"stream-{physical.name}",
                 daemon=True,
             )
@@ -247,6 +252,11 @@ class AdaptiveExecutor(Executor):
             wall_seconds=wall,
             operators=all_metrics,
             queues={q.name: q.stats for q in plan.queues.values()},
+            injected_faults=(
+                plan.fault_plan.injected_count()
+                if plan.fault_plan is not None
+                else 0
+            ),
         )
         if failures:
             raise ExecutionError(failures)

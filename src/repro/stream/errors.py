@@ -8,6 +8,8 @@ __all__ = [
     "QueueClosedError",
     "OperatorError",
     "ExecutionError",
+    "InjectedFault",
+    "OperatorTimeout",
 ]
 
 
@@ -34,6 +36,43 @@ class OperatorError(StreamError):
         super().__init__(f"operator {operator_name!r} failed: {cause!r}")
         self.operator_name = operator_name
         self.__cause__ = cause
+
+
+class InjectedFault(StreamError):
+    """A fault deliberately raised by the chaos engine (:mod:`faults`).
+
+    Simulates an operator crash.  Deliberately *not* retryable by the
+    default :class:`~repro.stream.supervision.RetryPolicy`: a crash kills
+    the operator instance, so recovery is the supervisor's job (restart or
+    degrade), not the per-item retry loop's.
+
+    Attributes:
+        target: physical operator name the fault was injected into.
+        item_index: zero-based index of the item being handled.
+    """
+
+    def __init__(self, target: str, item_index: int, message: str) -> None:
+        super().__init__(
+            f"injected fault in {target!r} at item {item_index}: {message}"
+        )
+        self.target = target
+        self.item_index = item_index
+
+
+class OperatorTimeout(StreamError):
+    """A single ``process`` invocation exceeded the retry policy's timeout.
+
+    Attributes:
+        operator_name: physical operator whose call timed out.
+        timeout: the per-attempt deadline in seconds.
+    """
+
+    def __init__(self, operator_name: str, timeout: float) -> None:
+        super().__init__(
+            f"operator {operator_name!r}: process() exceeded {timeout:.3f}s"
+        )
+        self.operator_name = operator_name
+        self.timeout = timeout
 
 
 class ExecutionError(StreamError):

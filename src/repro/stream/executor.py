@@ -2,9 +2,19 @@
 
 Runs every physical operator on its own thread; operators communicate only
 through their smart queues, so the whole plan executes in the pipelined
-fashion the paper describes.  A failure in any operator aborts all queues
-(unblocking everyone) and surfaces as an :class:`ExecutionError` carrying
-every operator failure.
+fashion the paper describes.  Failure handling is layered:
+
+* per-item retries — each transform runs under a
+  :class:`~repro.stream.supervision.RetryPolicy` (exponential backoff,
+  deterministic jitter, optional per-attempt timeout),
+* supervision — when retries are exhausted the operator's
+  :class:`~repro.stream.supervision.SupervisionPolicy` decides: abort the
+  plan (``fail-fast``), replace the instance and replay its buffered
+  input (``restart``), or drop the item and record the loss
+  (``degrade``),
+* plan failure — an unrecovered error aborts all queues (unblocking
+  everyone) and surfaces as an :class:`ExecutionError` carrying every
+  operator failure.
 """
 
 from __future__ import annotations
@@ -19,6 +29,11 @@ from repro.stream.metrics import ExecutionMetrics, OperatorMetrics, stopwatch
 from repro.stream.operators import Sink, Source, Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan
 from repro.stream.queues import END_OF_STREAM
+from repro.stream.supervision import (
+    SupervisedTransform,
+    SupervisionPolicy,
+    Supervisor,
+)
 
 __all__ = ["ExecutionResult", "Executor"]
 
@@ -39,10 +54,21 @@ class ExecutionResult:
 class Executor:
     """Executes physical plans on threads.
 
+    Args:
+        supervisor: per-operator supervision policies and the default
+            retry policy; ``None`` means fail-fast everywhere with the
+            legacy per-transform retry shorthand (the pre-supervision
+            behaviour).  Policies attached to the logical graph (via
+            ``DataflowGraph.add(..., supervision=...)``) override the
+            supervisor's entries.
+
     Example:
         >>> executor = Executor()                      # doctest: +SKIP
         >>> result = executor.run(planner.plan(graph)) # doctest: +SKIP
     """
+
+    def __init__(self, supervisor: Supervisor | None = None) -> None:
+        self.supervisor = supervisor if supervisor is not None else Supervisor()
 
     def run(self, plan: PhysicalPlan) -> ExecutionResult:
         """Execute ``plan`` to completion.
@@ -74,7 +100,7 @@ class Executor:
             all_metrics.append(metrics)
             thread = threading.Thread(
                 target=self._run_operator,
-                args=(physical, metrics, record_failure, sink_box),
+                args=(physical, metrics, record_failure, sink_box, plan),
                 name=f"stream-{physical.name}",
                 daemon=True,
             )
@@ -89,10 +115,23 @@ class Executor:
             wall_seconds=wall,
             operators=all_metrics,
             queues={q.name: q.stats for q in plan.queues.values()},
+            injected_faults=(
+                plan.fault_plan.injected_count()
+                if plan.fault_plan is not None
+                else 0
+            ),
         )
         if failures:
             raise ExecutionError(failures)
         return ExecutionResult(value=sink_box.get("result"), metrics=metrics)
+
+    def _policy_for(
+        self, plan: PhysicalPlan, logical_name: str
+    ) -> SupervisionPolicy:
+        """Graph-attached policy first, then the supervisor's mapping."""
+        if logical_name in plan.supervision:
+            return plan.supervision[logical_name]
+        return self.supervisor.policy_for(logical_name)
 
     def _run_operator(
         self,
@@ -100,6 +139,7 @@ class Executor:
         metrics: OperatorMetrics,
         record_failure,
         sink_box: dict[str, Any],
+        plan: PhysicalPlan,
     ) -> None:
         metrics.started_at = time.perf_counter()
         try:
@@ -109,7 +149,7 @@ class Executor:
             elif isinstance(operator, Sink):
                 self._run_sink(physical, metrics, sink_box)
             elif isinstance(operator, Transform):
-                self._run_transform(physical, metrics)
+                self._run_transform(physical, metrics, plan)
             else:  # pragma: no cover - planner never wires bare Operators
                 raise TypeError(f"cannot execute {operator!r}")
         except QueueClosedError:
@@ -142,12 +182,22 @@ class Executor:
             physical.output_queue.producer_done()
 
     def _run_transform(
-        self, physical: PhysicalOperator, metrics: OperatorMetrics
+        self,
+        physical: PhysicalOperator,
+        metrics: OperatorMetrics,
+        plan: PhysicalPlan,
     ) -> None:
         assert physical.input_queue is not None
         assert physical.output_queue is not None
         transform = physical.operator
         assert isinstance(transform, Transform)
+        runner = SupervisedTransform(
+            transform=transform,
+            policy=self._policy_for(plan, physical.logical_name),
+            retry=self.supervisor.retry_policy_for(transform),
+            metrics=metrics,
+            name=physical.name,
+        )
         try:
             while True:
                 item = physical.input_queue.get()
@@ -155,29 +205,17 @@ class Executor:
                     break
                 metrics.items_in += 1
                 with stopwatch(metrics):
-                    outputs = list(self._process_with_retry(transform, item))
+                    outputs = runner.process(item)
                 for output in outputs:
                     physical.output_queue.put(output)
                     metrics.items_out += 1
             with stopwatch(metrics):
-                flush = list(transform.finish())
+                flush = runner.finish()
             for output in flush:
                 physical.output_queue.put(output)
                 metrics.items_out += 1
         finally:
             physical.output_queue.producer_done()
-
-    @staticmethod
-    def _process_with_retry(transform: Transform, item):
-        """Invoke ``process``, retrying transient failures per policy."""
-        attempts = transform.max_retries + 1
-        for attempt in range(attempts):
-            try:
-                return transform.process(item)
-            except transform.retryable_errors:
-                if attempt == attempts - 1:
-                    raise
-        raise AssertionError("unreachable")  # pragma: no cover
 
     def _run_sink(
         self,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 from repro.stream.errors import GraphValidationError
 from repro.stream.operators import Operator, Sink, Source, Transform
+from repro.stream.supervision import SupervisionPolicy
 
 __all__ = ["DataflowGraph"]
 
@@ -26,6 +27,8 @@ class _Node:
     upstream: list[str] = field(default_factory=list)
     #: Planner hint: relative CPU cost of this operator (1.0 = average).
     cost_hint: float = 1.0
+    #: Supervision policy for this operator's physical instances.
+    supervision: SupervisionPolicy | None = None
 
 
 class DataflowGraph:
@@ -47,7 +50,12 @@ class DataflowGraph:
 
     # -- construction -------------------------------------------------------
 
-    def add(self, operator: Operator, cost_hint: float = 1.0) -> None:
+    def add(
+        self,
+        operator: Operator,
+        cost_hint: float = 1.0,
+        supervision: SupervisionPolicy | None = None,
+    ) -> None:
         """Register a logical operator.
 
         Args:
@@ -55,12 +63,43 @@ class DataflowGraph:
             cost_hint: relative CPU cost used by the planner to decide
                 which operators deserve clones (the paper singles out
                 partial k-means as "by far the most expensive").
+            supervision: optional restart/degrade policy for this
+                operator's physical instances (transforms only — sources
+                cannot be replayed safely and the sink assembles the
+                result, so both stay fail-fast).
         """
         if operator.name in self._nodes:
             raise GraphValidationError(f"duplicate operator name {operator.name!r}")
         if cost_hint <= 0:
             raise GraphValidationError("cost_hint must be positive")
         self._nodes[operator.name] = _Node(operator=operator, cost_hint=cost_hint)
+        if supervision is not None:
+            self.set_supervision(operator.name, supervision)
+
+    def set_supervision(self, name: str, policy: SupervisionPolicy) -> None:
+        """Attach a supervision policy to a registered transform.
+
+        Raises:
+            GraphValidationError: unknown operator, or the operator is a
+                source/sink (which must stay fail-fast).
+        """
+        if name not in self._nodes:
+            raise GraphValidationError(f"unknown operator {name!r}")
+        node = self._nodes[name]
+        if not isinstance(node.operator, Transform):
+            raise GraphValidationError(
+                f"supervision policies apply to transforms only; "
+                f"{name!r} is a {type(node.operator).__name__}"
+            )
+        node.supervision = policy
+
+    def supervision_policies(self) -> dict[str, SupervisionPolicy]:
+        """All attached supervision policies, keyed by logical name."""
+        return {
+            name: node.supervision
+            for name, node in self._nodes.items()
+            if node.supervision is not None
+        }
 
     def connect(self, producer: str, consumer: str) -> None:
         """Add an edge: ``producer``'s output feeds ``consumer``'s input."""

@@ -30,11 +30,13 @@ from repro.core.partial import partial_kmeans
 from repro.core.pipeline import split_into_chunks
 from repro.core.quality import mse as evaluate_mse
 from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.faults import FaultPlan
 from repro.stream.graph import DataflowGraph
 from repro.stream.items import CentroidMessage, DataChunk, Watermark
 from repro.stream.operators import Sink, Source, Transform
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
+from repro.stream.supervision import RetryPolicy, SupervisionPolicy, Supervisor
 
 __all__ = [
     "GridCellChunkSource",
@@ -311,6 +313,9 @@ def run_partial_merge_stream(
     seed: int | None = None,
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    fault_plan: FaultPlan | None = None,
+    supervision: Mapping[str, SupervisionPolicy] | None = None,
+    retry_policy: RetryPolicy | None = None,
 ) -> tuple[dict[str, ClusterModel], ExecutionResult]:
     """Cluster every grid cell with the streamed partial/merge pipeline.
 
@@ -326,6 +331,12 @@ def run_partial_merge_stream(
         seed: RNG seed for chunking and seeding.
         criterion: convergence criterion for all k-means stages.
         max_iter: Lloyd iteration cap for all stages.
+        fault_plan: optional seeded chaos engine (testing); targeted
+            operators are wrapped with deterministic fault injection.
+        supervision: per-logical-operator failure policies (e.g.
+            ``{"partial": SupervisionPolicy.restart(1)}``); unlisted
+            operators fail fast.
+        retry_policy: default per-item retry policy for all transforms.
 
     Returns:
         ``(models, execution_result)`` where ``models`` maps cell id to
@@ -342,7 +353,12 @@ def run_partial_merge_stream(
         criterion=criterion,
         max_iter=max_iter,
     )
+    for name, policy in (supervision or {}).items():
+        graph.set_supervision(name, policy)
     overrides = {"partial": partial_clones} if partial_clones else None
-    plan = Planner(envelope).plan(graph, clone_overrides=overrides)
-    outcome = Executor().run(plan)
+    plan = Planner(envelope).plan(
+        graph, clone_overrides=overrides, fault_plan=fault_plan
+    )
+    supervisor = Supervisor(retry_policy=retry_policy)
+    outcome = Executor(supervisor=supervisor).run(plan)
     return outcome.value, outcome

@@ -28,6 +28,13 @@ class OperatorMetrics:
         busy_seconds: time spent inside ``process``/``generate`` calls.
         started_at: perf-counter timestamp of thread start.
         finished_at: perf-counter timestamp of thread completion.
+        retries: per-item retry attempts beyond the first try.
+        restarts: times the supervisor replaced this instance after a
+            crash (``restart`` policy).
+        degraded_items: items dropped under the ``degrade`` policy.
+        lost_items: human-readable labels of the dropped items (for
+            :class:`~repro.stream.items.DataChunk` this is
+            ``"cell/Ppartition"``), in drop order.
     """
 
     name: str
@@ -36,6 +43,10 @@ class OperatorMetrics:
     busy_seconds: float = 0.0
     started_at: float = 0.0
     finished_at: float = 0.0
+    retries: int = 0
+    restarts: int = 0
+    degraded_items: int = 0
+    lost_items: list[str] = field(default_factory=list)
 
     @property
     def wall_seconds(self) -> float:
@@ -66,11 +77,38 @@ class ExecutionMetrics:
         wall_seconds: end-to-end execution time.
         operators: metrics per physical operator instance.
         queues: statistics per queue, keyed by queue name.
+        injected_faults: faults the attached
+            :class:`~repro.stream.faults.FaultPlan` injected during the
+            run (0 when no fault plan was attached).
     """
 
     wall_seconds: float = 0.0
     operators: list[OperatorMetrics] = field(default_factory=list)
     queues: dict[str, QueueStats] = field(default_factory=dict)
+    injected_faults: int = 0
+
+    @property
+    def total_retries(self) -> int:
+        """Per-item retries summed over all operators."""
+        return sum(op.retries for op in self.operators)
+
+    @property
+    def total_restarts(self) -> int:
+        """Supervisor restarts summed over all operators."""
+        return sum(op.restarts for op in self.operators)
+
+    @property
+    def total_degraded(self) -> int:
+        """Items dropped under ``degrade`` summed over all operators."""
+        return sum(op.degraded_items for op in self.operators)
+
+    @property
+    def lost_partitions(self) -> list[str]:
+        """Labels of every item dropped under ``degrade``, sorted."""
+        lost: list[str] = []
+        for op in self.operators:
+            lost.extend(op.lost_items)
+        return sorted(lost)
 
     def busy_seconds_for(self, logical_name: str) -> float:
         """Total busy time across all clones of a logical operator."""
@@ -88,6 +126,18 @@ class ExecutionMetrics:
             lines.append(
                 f"  {op.name:<20} in={op.items_in:<6} out={op.items_out:<6} "
                 f"busy={op.busy_seconds:.3f}s util={op.utilization:.0%}"
+            )
+        if (
+            self.total_retries
+            or self.total_restarts
+            or self.total_degraded
+            or self.injected_faults
+        ):
+            lines.append(
+                f"  resilience: retries={self.total_retries} "
+                f"restarts={self.total_restarts} "
+                f"degraded={self.total_degraded} "
+                f"injected_faults={self.injected_faults}"
             )
         return lines
 

@@ -74,10 +74,19 @@ class Transform(Operator):
             resources (network reads, remote services) set it higher.
         retryable_errors: exception types considered transient; others
             fail immediately regardless of ``max_retries``.
+        retry_policy: optional
+            :class:`~repro.stream.supervision.RetryPolicy` giving this
+            transform exponential backoff, jitter and a per-item timeout.
+            When set it takes precedence over ``max_retries`` /
+            ``retryable_errors`` (which remain as the zero-backoff
+            shorthand).
     """
 
     max_retries: int = 0
     retryable_errors: tuple[type[BaseException], ...] = (Exception,)
+    #: Optional rich retry policy; ``None`` falls back to the executor's
+    #: default or the legacy ``max_retries`` shorthand above.
+    retry_policy = None
 
     def process(self, item: Any) -> Iterable[Any]:
         """Handle one input item; return (possibly empty) output items."""

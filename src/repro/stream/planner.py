@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.stream.faults import FaultPlan
 from repro.stream.graph import DataflowGraph
 from repro.stream.operators import Operator, Sink, Transform
 from repro.stream.queues import SmartQueue
 from repro.stream.scheduler import ResourceManager
+from repro.stream.supervision import SupervisionPolicy
 
 __all__ = ["PhysicalOperator", "PhysicalPlan", "Planner"]
 
@@ -52,11 +54,16 @@ class PhysicalPlan:
         operators: all physical instances, topologically ordered by stage.
         queues: input queue per consuming logical operator.
         clone_counts: physical instances per logical operator.
+        supervision: per-logical-operator supervision policies copied off
+            the graph (the executor consults these first).
+        fault_plan: chaos engine attached at plan time, if any.
     """
 
     operators: list[PhysicalOperator] = field(default_factory=list)
     queues: dict[str, SmartQueue] = field(default_factory=dict)
     clone_counts: dict[str, int] = field(default_factory=dict)
+    supervision: dict[str, SupervisionPolicy] = field(default_factory=dict)
+    fault_plan: FaultPlan | None = None
 
     def describe(self) -> str:
         """One-line-per-operator plan description (for CLI/examples)."""
@@ -81,6 +88,7 @@ class Planner:
         self,
         graph: DataflowGraph,
         clone_overrides: dict[str, int] | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> PhysicalPlan:
         """Compile ``graph`` into a :class:`PhysicalPlan`.
 
@@ -89,6 +97,8 @@ class Planner:
             clone_overrides: explicit clone counts per logical operator
                 (used by the speed-up experiments to pin parallelism);
                 values are clamped to 1 for non-parallelizable operators.
+            fault_plan: optional chaos engine; every physical instance a
+                spec targets is wrapped transparently (testing only).
 
         Returns:
             A wired physical plan.
@@ -97,7 +107,11 @@ class Planner:
         overrides = dict(clone_overrides or {})
         clone_counts = self._decide_clones(graph, overrides)
 
-        plan = PhysicalPlan(clone_counts=clone_counts)
+        plan = PhysicalPlan(
+            clone_counts=clone_counts,
+            supervision=graph.supervision_policies(),
+            fault_plan=fault_plan,
+        )
         # One input queue per consuming logical operator.
         for name in graph.names():
             operator = graph.operator(name)
@@ -115,6 +129,8 @@ class Planner:
             for index in range(count):
                 instance = operator if count == 1 else operator.clone()
                 physical_name = name if count == 1 else f"{name}#{index}"
+                if fault_plan is not None:
+                    instance = fault_plan.wrap(instance, physical_name)
                 if output_queue is not None:
                     output_queue.register_producer()
                 plan.operators.append(

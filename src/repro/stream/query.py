@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.kmeans import DEFAULT_MAX_ITER
 from repro.stream.executor import ExecutionResult, Executor
+from repro.stream.faults import FaultPlan
 from repro.stream.file_source import BucketFileSource
 from repro.stream.graph import DataflowGraph
 from repro.stream.kmeans_ops import (
@@ -43,6 +44,7 @@ from repro.stream.kmeans_ops import (
 )
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
+from repro.stream.supervision import RetryPolicy, SupervisionPolicy, Supervisor
 
 __all__ = ["QueryError", "QueryResult", "Query"]
 
@@ -77,6 +79,8 @@ class _QueryState:
     resources: ResourceManager | None = None
     partial_clones: int | None = None
     seed: int | None = None
+    supervision: dict[str, SupervisionPolicy] = field(default_factory=dict)
+    retry_policy: RetryPolicy | None = None
 
 
 class Query:
@@ -181,6 +185,26 @@ class Query:
         self._state.seed = seed
         return self
 
+    def with_supervision(
+        self,
+        policies: Mapping[str, SupervisionPolicy] | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> "Query":
+        """Attach failure-handling policies to the query's operators.
+
+        Args:
+            policies: mapping from logical operator name (``"partial"``)
+                to a :class:`SupervisionPolicy`; unlisted operators stay
+                fail-fast.
+            retry_policy: default per-item :class:`RetryPolicy` for every
+                transform in the plan.
+        """
+        if policies:
+            self._state.supervision.update(policies)
+        if retry_policy is not None:
+            self._state.retry_policy = retry_policy
+        return self
+
     # -- compilation ------------------------------------------------------------
 
     def _validate(self) -> None:
@@ -250,6 +274,8 @@ class Query:
         graph.add(sink, cost_hint=1.0)
         graph.connect(source.name, "partial")
         graph.connect("partial", "merge")
+        for name, policy in state.supervision.items():
+            graph.set_supervision(name, policy)
         return graph
 
     # -- terminal operations --------------------------------------------------
@@ -283,8 +309,12 @@ class Query:
         printer(plan.describe())
         return self
 
-    def execute(self) -> QueryResult:
+    def execute(self, fault_plan: FaultPlan | None = None) -> QueryResult:
         """Compile, plan and run the query.
+
+        Args:
+            fault_plan: optional seeded chaos engine; targeted operators
+                are wrapped with deterministic fault injection (tests).
 
         Returns:
             A :class:`QueryResult` with per-cell models and metrics.
@@ -295,6 +325,9 @@ class Query:
             if self._state.partial_clones
             else None
         )
-        plan = Planner(self._resources()).plan(graph, clone_overrides=overrides)
-        outcome = Executor().run(plan)
+        plan = Planner(self._resources()).plan(
+            graph, clone_overrides=overrides, fault_plan=fault_plan
+        )
+        supervisor = Supervisor(retry_policy=self._state.retry_policy)
+        outcome = Executor(supervisor=supervisor).run(plan)
         return QueryResult(models=outcome.value, execution=outcome)

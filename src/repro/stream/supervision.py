@@ -1,0 +1,365 @@
+"""Supervised recovery: retry policies, restart and degrade.
+
+The paper's parallelization argument assumes partial-k-means clones can
+die without taking the query down: weighted-centroid summaries are
+recomputable (restart) and droppable (the merge still produces a model
+from surviving summaries, as mini-batch/streaming k-means variants
+exploit).  This module supplies the pieces the executor uses:
+
+* :class:`RetryPolicy` — per-item retries with exponential backoff,
+  deterministic jitter and an optional per-attempt timeout.  Replaces the
+  bare fixed-count loop the executor used to run.
+* :class:`SupervisionPolicy` — what happens when retries are exhausted:
+  ``fail-fast`` (abort the plan, the old behaviour), ``restart`` (replace
+  the operator instance and re-run it from its buffered input) or
+  ``degrade`` (drop the item, record the loss, keep going).
+* :class:`Supervisor` — maps logical operator names to policies and
+  carries the executor-wide default retry policy.
+* :class:`SupervisedTransform` — the executor-side wrapper driving one
+  physical transform under its policies.
+
+Restart semantics: a replacement instance is deep-copied from a snapshot
+taken before the first item, then *replays* the buffered input with
+outputs suppressed.  Deterministic operators (partial k-means included:
+its RNG stream advances once per chunk) therefore end up in exactly the
+state the crashed instance should have had, so a restarted run's final
+model is byte-identical to the unfaulted run for the same seed.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.stream.errors import InjectedFault, OperatorTimeout
+from repro.stream.metrics import OperatorMetrics
+from repro.stream.operators import Transform
+
+__all__ = [
+    "FAIL_FAST",
+    "RESTART",
+    "DEGRADE",
+    "RetryPolicy",
+    "SupervisionPolicy",
+    "Supervisor",
+    "SupervisedTransform",
+    "run_with_retry",
+    "describe_item",
+]
+
+FAIL_FAST = "fail-fast"
+RESTART = "restart"
+DEGRADE = "degrade"
+_MODES = (FAIL_FAST, RESTART, DEGRADE)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-item retry behaviour for one transform.
+
+    Attributes:
+        max_retries: additional attempts after the first failure.
+        base_delay: seconds before the first retry (0 disables backoff).
+        backoff_factor: multiplier applied per subsequent retry.
+        max_delay: ceiling on any single backoff sleep.
+        jitter: fraction in ``[0, 1]``; each sleep is scaled by a factor
+            drawn uniformly from ``[1 - jitter, 1 + jitter]`` using a
+            per-operator seeded RNG, so schedules stay reproducible while
+            de-synchronising retry storms across clones.
+        timeout: per-attempt deadline in seconds; a ``process`` call that
+            overruns raises :class:`~repro.stream.errors.OperatorTimeout`
+            (the attempt's thread is abandoned — intended for I/O-bound
+            transforms and chaos-test stalls, not CPU kernels).
+        retryable_errors: exception types worth retrying.
+            :class:`~repro.stream.errors.InjectedFault` is *never*
+            retryable unless listed explicitly — an injected crash is the
+            supervisor's problem, not a transient.
+        seed: seeds the jitter RNG (combined with the operator name).
+    """
+
+    max_retries: int = 0
+    base_delay: float = 0.0
+    backoff_factor: float = 2.0
+    max_delay: float = 1.0
+    jitter: float = 0.0
+    timeout: float | None = None
+    retryable_errors: tuple[type[BaseException], ...] = (Exception,)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError("timeout must be positive when given")
+
+    @staticmethod
+    def from_transform(transform: Transform) -> "RetryPolicy":
+        """Legacy shorthand: zero-backoff policy from transform attrs."""
+        return RetryPolicy(
+            max_retries=transform.max_retries,
+            retryable_errors=transform.retryable_errors,
+        )
+
+    def rng_for(self, operator_name: str) -> random.Random:
+        """Deterministic jitter RNG bound to one physical operator."""
+        return random.Random(f"{self.seed}:{operator_name}")
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether one failure is worth another attempt."""
+        if isinstance(exc, InjectedFault):
+            # Retry only when InjectedFault (or a subclass) is listed
+            # explicitly; broad entries like ``Exception`` do not count.
+            return any(
+                issubclass(listed, InjectedFault)
+                for listed in self.retryable_errors
+            )
+        return isinstance(exc, self.retryable_errors)
+
+    def delay_before(self, retry_index: int, rng: random.Random) -> float:
+        """Backoff sleep before retry number ``retry_index`` (0-based)."""
+        if self.base_delay <= 0.0:
+            return 0.0
+        delay = min(
+            self.max_delay, self.base_delay * self.backoff_factor**retry_index
+        )
+        if self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """What the executor does when a transform exhausts its retries.
+
+    Attributes:
+        mode: ``"fail-fast"``, ``"restart"`` or ``"degrade"``.
+        max_restarts: replacement instances allowed (``restart`` only).
+    """
+
+    mode: str = FAIL_FAST
+    max_restarts: int = 0
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ValueError(f"unknown supervision mode {self.mode!r}; use {_MODES}")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.mode == RESTART and self.max_restarts < 1:
+            raise ValueError("restart policy needs max_restarts >= 1")
+
+    @staticmethod
+    def fail_fast() -> "SupervisionPolicy":
+        """Abort the whole plan on first unrecovered failure (default)."""
+        return SupervisionPolicy(mode=FAIL_FAST)
+
+    @staticmethod
+    def restart(max_restarts: int = 1) -> "SupervisionPolicy":
+        """Replace the crashed instance and replay its buffered input."""
+        return SupervisionPolicy(mode=RESTART, max_restarts=max_restarts)
+
+    @staticmethod
+    def degrade() -> "SupervisionPolicy":
+        """Drop the failing item, record the loss, keep streaming."""
+        return SupervisionPolicy(mode=DEGRADE)
+
+
+class Supervisor:
+    """Per-operator supervision policies plus the default retry policy.
+
+    Args:
+        default: policy for operators without an explicit entry
+            (defaults to fail-fast, the pre-supervision behaviour).
+        policies: mapping from *logical* operator name to policy.
+        retry_policy: executor-wide default
+            :class:`RetryPolicy`; a transform's own ``retry_policy``
+            attribute wins, then this, then the legacy
+            ``max_retries``/``retryable_errors`` shorthand.
+    """
+
+    def __init__(
+        self,
+        default: SupervisionPolicy | None = None,
+        policies: dict[str, SupervisionPolicy] | None = None,
+        retry_policy: RetryPolicy | None = None,
+    ) -> None:
+        self.default = default if default is not None else SupervisionPolicy.fail_fast()
+        self.policies = dict(policies or {})
+        self.retry_policy = retry_policy
+
+    def policy_for(self, logical_name: str) -> SupervisionPolicy:
+        """Effective supervision policy for one logical operator."""
+        return self.policies.get(logical_name, self.default)
+
+    def retry_policy_for(self, transform: Transform) -> RetryPolicy:
+        """Effective retry policy for one transform instance."""
+        own = getattr(transform, "retry_policy", None)
+        if own is not None:
+            return own
+        if self.retry_policy is not None:
+            return self.retry_policy
+        return RetryPolicy.from_transform(transform)
+
+
+def describe_item(item: Any) -> str:
+    """Short label of a lost item for :attr:`OperatorMetrics.lost_items`."""
+    cell = getattr(item, "cell_id", None)
+    partition = getattr(item, "partition", None)
+    if cell is not None and partition is not None:
+        return f"{cell}/P{partition}"
+    text = repr(item)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+def _call_materialized(
+    fn: Callable[[Any], Any],
+    item: Any,
+    timeout: float | None,
+    label: str,
+) -> list:
+    """Run ``fn(item)``, materializing its iterable, under a deadline.
+
+    Materializing inside the guarded call matters twice over: generator
+    transforms do their work lazily (so a timeout must cover consumption,
+    not just the call), and retries must re-run the whole computation.
+    When the deadline fires the attempt's daemon thread is abandoned —
+    acceptable for blocked I/O, which is what timeouts are for.
+    """
+    if timeout is None:
+        return list(fn(item))
+    results: list = []
+    errors: list[BaseException] = []
+
+    def attempt() -> None:
+        try:
+            results.append(list(fn(item)))
+        except BaseException as exc:  # noqa: BLE001 - re-raised by caller
+            errors.append(exc)
+
+    thread = threading.Thread(target=attempt, name=f"{label}-attempt", daemon=True)
+    thread.start()
+    thread.join(timeout)
+    if thread.is_alive():
+        raise OperatorTimeout(label, timeout)
+    if errors:
+        raise errors[0]
+    return results[0]
+
+
+def run_with_retry(
+    fn: Callable[[Any], Any],
+    item: Any,
+    policy: RetryPolicy,
+    metrics: OperatorMetrics,
+    rng: random.Random,
+    label: str,
+) -> list:
+    """Invoke ``fn(item)`` under ``policy``, counting retries in metrics."""
+    attempt = 0
+    while True:
+        try:
+            return _call_materialized(fn, item, policy.timeout, label)
+        except BaseException as exc:  # noqa: BLE001 - filtered below
+            if attempt >= policy.max_retries or not policy.is_retryable(exc):
+                raise
+            attempt += 1
+            metrics.retries += 1
+            delay = policy.delay_before(attempt - 1, rng)
+            if delay > 0.0:
+                time.sleep(delay)
+
+
+@dataclass
+class SupervisedTransform:
+    """Drives one physical transform under retry + supervision policies.
+
+    Created by the executor per transform thread.  Under ``restart`` it
+    snapshots the operator up front (``copy.deepcopy``) and buffers every
+    consumed item; a replacement instance replays the buffer with outputs
+    suppressed, which reconstructs the crashed instance's state exactly
+    (at the price of keeping the consumed items alive — restart is meant
+    for summarising operators whose inputs are bounded partitions).
+
+    Attributes:
+        transform: the live operator instance (rebound on restart).
+        policy: the supervision policy in force.
+        retry: the retry policy in force.
+        metrics: counters updated in place (retries/restarts/losses).
+        name: physical operator name (labels timeouts and losses).
+    """
+
+    transform: Transform
+    policy: SupervisionPolicy
+    retry: RetryPolicy
+    metrics: OperatorMetrics
+    name: str
+    _snapshot: Transform | None = field(default=None, repr=False)
+    _buffer: list | None = field(default=None, repr=False)
+    _restarts_used: int = field(default=0, repr=False)
+    _rng: random.Random = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self._rng = self.retry.rng_for(self.name)
+        if self.policy.mode == RESTART:
+            self._snapshot = copy.deepcopy(self.transform)
+            self._buffer = []
+
+    def process(self, item: Any) -> list:
+        """One supervised ``process`` call; returns the output items."""
+        if self._buffer is not None:
+            self._buffer.append(item)
+        return self._supervised(
+            lambda t: run_with_retry(
+                t.process, item, self.retry, self.metrics, self._rng, self.name
+            ),
+            replay_all=False,
+            loss_label=describe_item(item),
+        )
+
+    def finish(self) -> list:
+        """Supervised end-of-stream flush."""
+        return self._supervised(
+            lambda t: list(t.finish()),
+            replay_all=True,
+            loss_label=f"{self.name}/finish",
+        )
+
+    def _supervised(self, call, replay_all: bool, loss_label: str) -> list:
+        need_replay = False
+        while True:
+            try:
+                if need_replay:
+                    self._replay(replay_all)
+                    need_replay = False
+                return call(self.transform)
+            except BaseException:  # noqa: BLE001 - dispatched by policy
+                if (
+                    self.policy.mode == RESTART
+                    and self._restarts_used < self.policy.max_restarts
+                ):
+                    self._restarts_used += 1
+                    self.metrics.restarts += 1
+                    self.transform = copy.deepcopy(self._snapshot)
+                    need_replay = True
+                    continue
+                if self.policy.mode == DEGRADE:
+                    self.metrics.degraded_items += 1
+                    self.metrics.lost_items.append(loss_label)
+                    return []
+                raise
+
+    def _replay(self, replay_all: bool) -> None:
+        """Re-run buffered items on the replacement, discarding outputs."""
+        assert self._buffer is not None
+        prior = self._buffer if replay_all else self._buffer[:-1]
+        for item in prior:
+            list(self.transform.process(item))

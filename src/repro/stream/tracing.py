@@ -32,9 +32,20 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
                 "busy_seconds": op.busy_seconds,
                 "wall_seconds": op.wall_seconds,
                 "utilization": op.utilization,
+                "retries": op.retries,
+                "restarts": op.restarts,
+                "degraded_items": op.degraded_items,
+                "lost_items": list(op.lost_items),
             }
             for op in metrics.operators
         ],
+        "resilience": {
+            "total_retries": metrics.total_retries,
+            "total_restarts": metrics.total_restarts,
+            "total_degraded": metrics.total_degraded,
+            "lost_partitions": metrics.lost_partitions,
+            "injected_faults": metrics.injected_faults,
+        },
         "queues": {
             name: {
                 "puts": stats.puts,

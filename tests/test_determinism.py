@@ -1,0 +1,78 @@
+"""Determinism regression: identical seeds must give byte-identical models.
+
+With a single partial clone, chunk order and every RNG draw are fixed by
+the seed, so two runs — even across different executors — must agree to
+the last bit.  (With >1 clone the chunk→clone assignment depends on
+thread scheduling, so exact reproducibility is only promised for
+``partial_clones=1``.)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.adaptive import AdaptiveExecutor
+from repro.stream.executor import Executor
+from repro.stream.kmeans_ops import (
+    build_partial_merge_graph,
+    run_partial_merge_stream,
+)
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+from tests.conftest import make_blobs
+
+
+@pytest.fixture
+def cells():
+    centers = np.array([[0.0, 0.0], [8.0, 8.0], [8.0, 0.0]])
+    return {
+        "north": make_blobs(90, centers, scale=0.4, seed=21),
+        "south": make_blobs(75, centers, scale=0.4, seed=22),
+    }
+
+
+def run_simple(cells, seed):
+    models, _ = run_partial_merge_stream(
+        cells, k=3, restarts=2, n_chunks=3, seed=seed,
+        partial_clones=1, max_iter=40,
+    )
+    return models
+
+
+def run_adaptive(cells, seed):
+    # Graph operators are stateful — build a fresh one per run.
+    graph = build_partial_merge_graph(
+        cells, k=3, restarts=2, n_chunks=3, seed=seed, max_iter=40
+    )
+    plan = Planner(ResourceManager(worker_slots=4)).plan(
+        graph, clone_overrides={"partial": 1}
+    )
+    outcome = AdaptiveExecutor(max_extra_clones=0).run(plan)
+    return outcome.value
+
+
+def assert_models_identical(a, b):
+    assert set(a) == set(b)
+    for cell in a:
+        assert a[cell].centroids.tobytes() == b[cell].centroids.tobytes()
+        assert a[cell].weights.tobytes() == b[cell].weights.tobytes()
+        assert a[cell].mse == b[cell].mse
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_across_executor_runs(self, cells):
+        assert_models_identical(run_simple(cells, 7), run_simple(cells, 7))
+
+    def test_same_seed_byte_identical_executor_vs_adaptive(self, cells):
+        assert_models_identical(run_simple(cells, 7), run_adaptive(cells, 7))
+
+    def test_adaptive_runs_agree_with_each_other(self, cells):
+        assert_models_identical(run_adaptive(cells, 3), run_adaptive(cells, 3))
+
+    def test_different_seed_changes_model(self, cells):
+        a, b = run_simple(cells, 1), run_simple(cells, 2)
+        assert any(
+            a[cell].centroids.tobytes() != b[cell].centroids.tobytes()
+            for cell in a
+        )

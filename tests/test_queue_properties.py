@@ -1,21 +1,31 @@
-"""Model-based property tests for SmartQueue.
+"""Model-based and concurrent property tests for SmartQueue.
 
-A sequential reference model (counter + FIFO list) is run against the
-real queue under arbitrary interleavings of producer registration, puts,
-gets, and producer completion.  Invariants: items come out exactly once,
-in order, and end-of-stream appears if and only if all registered
-producers have finished and the buffer drained.
+Two layers:
+
+* a sequential reference model (counter + FIFO list) run against the
+  real queue under arbitrary interleavings of producer registration,
+  puts, gets, and producer completion — items come out exactly once, in
+  order, and end-of-stream appears iff all registered producers finished
+  and the buffer drained;
+* real-thread schedules — N producers / M consumers never lose or
+  duplicate an item, and ``abort()`` unblocks every waiter within a
+  deadline.
 """
 
 from __future__ import annotations
 
-from hypothesis import settings
+import threading
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
 from hypothesis.stateful import (
     RuleBasedStateMachine,
     invariant,
     precondition,
     rule,
 )
+import pytest
 
 from repro.stream.errors import QueueClosedError
 from repro.stream.queues import END_OF_STREAM, SmartQueue
@@ -105,3 +115,127 @@ TestQueueModel = QueueMachine.TestCase
 TestQueueModel.settings = settings(
     max_examples=60, stateful_step_count=40, deadline=None
 )
+
+
+class TestConcurrentNoLossNoDup:
+    """Real threads: every produced item is consumed exactly once."""
+
+    @given(
+        n_producers=st.integers(min_value=1, max_value=4),
+        n_consumers=st.integers(min_value=1, max_value=4),
+        items_each=st.integers(min_value=0, max_value=50),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_n_producers_m_consumers(
+        self, n_producers, n_consumers, items_each, capacity
+    ):
+        queue = SmartQueue(capacity=capacity)
+        for _ in range(n_producers):
+            queue.register_producer()
+
+        def produce(pid: int) -> None:
+            for i in range(items_each):
+                queue.put((pid, i))
+            queue.producer_done()
+
+        consumed: list[list[tuple[int, int]]] = [[] for _ in range(n_consumers)]
+
+        def consume(cid: int) -> None:
+            while True:
+                item = queue.get(timeout=5.0)
+                if item is END_OF_STREAM:
+                    return
+                consumed[cid].append(item)
+
+        threads = [
+            threading.Thread(target=produce, args=(pid,))
+            for pid in range(n_producers)
+        ] + [
+            threading.Thread(target=consume, args=(cid,))
+            for cid in range(n_consumers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert not any(t.is_alive() for t in threads)
+
+        received = [item for per_consumer in consumed for item in per_consumer]
+        expected = {
+            (pid, i) for pid in range(n_producers) for i in range(items_each)
+        }
+        assert len(received) == len(expected)  # no loss, no duplication
+        assert set(received) == expected
+        # Per-producer order is preserved at each consumer.
+        for per_consumer in consumed:
+            for pid in range(n_producers):
+                sequence = [i for p, i in per_consumer if p == pid]
+                assert sequence == sorted(sequence)
+
+
+class TestAbortUnblocksWaiters:
+    DEADLINE = 2.0
+
+    def _assert_all_released(self, threads, errors, expected):
+        for t in threads:
+            t.join(timeout=self.DEADLINE)
+        assert not any(t.is_alive() for t in threads), (
+            "abort() left waiters blocked past the deadline"
+        )
+        assert len(errors) == expected
+        assert all(isinstance(e, QueueClosedError) for e in errors)
+
+    def test_abort_releases_blocked_consumers(self):
+        queue = SmartQueue(capacity=2)
+        queue.register_producer()  # keeps the queue open (and empty)
+        errors: list[Exception] = []
+        started = threading.Barrier(4)
+
+        def blocked_get() -> None:
+            started.wait()
+            try:
+                queue.get()
+            except QueueClosedError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=blocked_get) for _ in range(3)]
+        for t in threads:
+            t.start()
+        started.wait()
+        time.sleep(0.05)  # let every consumer reach the condition wait
+        queue.abort()
+        self._assert_all_released(threads, errors, expected=3)
+
+    def test_abort_releases_blocked_producers(self):
+        queue = SmartQueue(capacity=1)
+        queue.register_producer()
+        queue.put("fills-the-buffer")
+        errors: list[Exception] = []
+        started = threading.Barrier(4)
+
+        def blocked_put(i: int) -> None:
+            started.wait()
+            try:
+                queue.put(i)
+            except QueueClosedError as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=blocked_put, args=(i,)) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        started.wait()
+        time.sleep(0.05)  # let every producer block on backpressure
+        queue.abort()
+        self._assert_all_released(threads, errors, expected=3)
+
+    def test_operations_after_abort_raise(self):
+        queue = SmartQueue(capacity=2)
+        queue.register_producer()
+        queue.abort()
+        with pytest.raises(QueueClosedError):
+            queue.put(1)
+        with pytest.raises(QueueClosedError):
+            queue.get(timeout=0.1)

@@ -171,6 +171,18 @@ class TestRetries:
         outcome = run(graph)
         assert outcome.value == list(range(10))
 
+    def test_retries_counted_in_operator_metrics(self):
+        graph = build(RangeSource(10), FlakyTransform(2), CollectSink())
+        outcome = run(graph)
+        op = next(
+            m for m in outcome.metrics.operators if m.name == "flaky-net"
+        )
+        # Two failed attempts per item before success, over ten items.
+        assert op.retries == 20
+        assert outcome.metrics.total_retries == 20
+        clean = next(m for m in outcome.metrics.operators if m.name == "src")
+        assert clean.retries == 0
+
     def test_exhausted_retries_fail_plan(self):
         graph = build(RangeSource(5), FlakyTransform(10), CollectSink())
         with pytest.raises(ExecutionError) as excinfo:

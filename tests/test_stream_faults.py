@@ -1,0 +1,224 @@
+"""Chaos-engine tests: deterministic fault injection at every operator role."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stream.errors import ExecutionError, InjectedFault
+from repro.stream.executor import Executor
+from repro.stream.faults import ChaosTransform, FaultPlan, FaultSpec
+from repro.stream.graph import DataflowGraph
+from repro.stream.kmeans_ops import run_partial_merge_stream
+from repro.stream.operators import FunctionTransform, Sink, Source
+from repro.stream.planner import Planner
+from repro.stream.scheduler import ResourceManager
+from tests.conftest import make_blobs
+
+
+class RangeSource(Source):
+    def __init__(self, n: int, name: str = "src"):
+        super().__init__(name)
+        self.n = n
+
+    def generate(self):
+        yield from range(self.n)
+
+
+class CollectSink(Sink):
+    def __init__(self, name: str = "sink"):
+        super().__init__(name)
+        self.items = []
+
+    def consume(self, item):
+        self.items.append(item)
+
+    def result(self):
+        return self.items
+
+
+def build_graph(n_items: int = 20):
+    graph = DataflowGraph()
+    source = RangeSource(n_items)
+    double = FunctionTransform("double", lambda i: [2 * i])
+    sink = CollectSink()
+    graph.add(source)
+    graph.add(double)
+    graph.add(sink)
+    graph.connect("src", "double")
+    graph.connect("double", "sink")
+    return graph
+
+
+def run(graph, fault_plan=None):
+    plan = Planner(ResourceManager(worker_slots=3)).plan(
+        graph, clone_overrides={"double": 1}, fault_plan=fault_plan
+    )
+    return Executor().run(plan)
+
+
+class TestFaultSpecValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="kind"):
+            FaultSpec(target="x", kind="explode", at_index=0)
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="at_index or probability"):
+            FaultSpec(target="x", kind="crash")
+
+    def test_probability_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(target="x", kind="crash", probability=1.5)
+
+    def test_budget_defaults(self):
+        crash = FaultSpec(target="x", kind="crash", at_index=0)
+        delay = FaultSpec(target="x", kind="delay", at_index=0)
+        assert crash.budget == 1
+        assert delay.budget is None
+
+
+class TestWrapping:
+    def test_untargeted_operator_not_wrapped(self):
+        plan = FaultPlan([FaultSpec(target="other", kind="crash", at_index=0)])
+        op = FunctionTransform("double", lambda i: [i])
+        assert plan.wrap(op, "double") is op
+
+    def test_targeted_transform_wrapped_and_delegating(self):
+        plan = FaultPlan([FaultSpec(target="double", kind="delay",
+                                    at_index=0, delay_seconds=0.0)])
+        inner = FunctionTransform("double", lambda i: [2 * i])
+        wrapped = plan.wrap(inner, "double")
+        assert isinstance(wrapped, ChaosTransform)
+        assert wrapped.name == "double"
+        assert wrapped.parallelizable == inner.parallelizable
+        assert wrapped.max_retries == inner.max_retries
+        assert list(wrapped.process(3)) == [6]
+
+    def test_logical_name_matches_every_clone(self):
+        plan = FaultPlan(
+            [FaultSpec(target="double", kind="delay", at_index=0)]
+        )
+        inner = FunctionTransform("double", lambda i: [i])
+        assert isinstance(plan.wrap(inner, "double#0"), ChaosTransform)
+        assert isinstance(plan.wrap(inner, "double#1"), ChaosTransform)
+
+
+class TestInjection:
+    def test_transform_crash_fails_plan_with_injected_cause(self):
+        fp = FaultPlan([FaultSpec(target="double", kind="crash", at_index=3)])
+        with pytest.raises(ExecutionError) as excinfo:
+            run(build_graph(), fault_plan=fp)
+        cause = excinfo.value.failures[0].__cause__
+        assert isinstance(cause, InjectedFault)
+        assert cause.target == "double"
+        assert cause.item_index == 3
+
+    def test_source_crash_fails_plan(self):
+        fp = FaultPlan([FaultSpec(target="src", kind="crash", at_index=5)])
+        with pytest.raises(ExecutionError) as excinfo:
+            run(build_graph(), fault_plan=fp)
+        assert any("src" in f.operator_name for f in excinfo.value.failures)
+
+    def test_sink_crash_fails_plan(self):
+        fp = FaultPlan([FaultSpec(target="sink", kind="crash", at_index=2)])
+        with pytest.raises(ExecutionError) as excinfo:
+            run(build_graph(), fault_plan=fp)
+        assert any("sink" in f.operator_name for f in excinfo.value.failures)
+
+    def test_source_truncation_ends_stream_early(self):
+        fp = FaultPlan([FaultSpec(target="src", kind="truncate", at_index=7)])
+        outcome = run(build_graph(20), fault_plan=fp)
+        # Items 0..6 survive; the rest of the stream is lost.
+        assert outcome.value == [2 * i for i in range(7)]
+        assert outcome.metrics.injected_faults == 1
+        assert fp.trace()[0].kind == "truncate"
+
+    def test_delay_fault_preserves_results(self):
+        fp = FaultPlan(
+            [FaultSpec(target="double", kind="delay",
+                       probability=0.5, delay_seconds=0.0)],
+            seed=7,
+        )
+        outcome = run(build_graph(20), fault_plan=fp)
+        assert outcome.value == [2 * i for i in range(20)]
+        assert outcome.metrics.injected_faults == len(fp.trace())
+        assert outcome.metrics.injected_faults > 0
+
+    def test_crash_budget_is_one_shot(self):
+        # probability 1 would crash every item, but the default crash
+        # budget injects exactly once.
+        fp = FaultPlan([FaultSpec(target="double", kind="crash",
+                                  probability=1.0)])
+        with pytest.raises(ExecutionError):
+            run(build_graph(), fault_plan=fp)
+        assert len(fp.trace()) == 1
+
+
+class TestDeterminism:
+    def make_plan(self, seed=11):
+        return FaultPlan(
+            [
+                FaultSpec(target="double", kind="delay",
+                          probability=0.3, delay_seconds=0.0),
+                FaultSpec(target="src", kind="delay",
+                          probability=0.2, delay_seconds=0.0),
+            ],
+            seed=seed,
+        )
+
+    def test_identical_plans_produce_identical_traces(self):
+        fp_a, fp_b = self.make_plan(), self.make_plan()
+        run(build_graph(40), fault_plan=fp_a)
+        run(build_graph(40), fault_plan=fp_b)
+        assert fp_a.trace() == fp_b.trace()
+        assert len(fp_a.trace()) > 0
+
+    def test_reset_allows_exact_replay(self):
+        fp = self.make_plan()
+        run(build_graph(40), fault_plan=fp)
+        first = fp.trace()
+        fp.reset()
+        assert fp.trace() == ()
+        run(build_graph(40), fault_plan=fp)
+        assert fp.trace() == first
+
+    def test_different_seed_changes_decisions(self):
+        fp_a, fp_b = self.make_plan(seed=1), self.make_plan(seed=2)
+        run(build_graph(60), fault_plan=fp_a)
+        run(build_graph(60), fault_plan=fp_b)
+        assert fp_a.trace() != fp_b.trace()
+
+
+class TestKMeansPipelineUnderChaos:
+    @pytest.fixture
+    def cells(self):
+        centers = np.array([[0.0, 0.0], [9.0, 9.0], [0.0, 9.0]])
+        return {
+            "cellA": make_blobs(60, centers, scale=0.3, seed=5),
+            "cellB": make_blobs(50, centers, scale=0.3, seed=6),
+        }
+
+    def test_injected_fault_counter_on_metrics(self, cells):
+        fp = FaultPlan(
+            [FaultSpec(target="partial", kind="delay",
+                       probability=1.0, delay_seconds=0.0)]
+        )
+        models, outcome = run_partial_merge_stream(
+            cells, k=3, restarts=1, n_chunks=3, seed=0,
+            partial_clones=1, max_iter=30, fault_plan=fp,
+        )
+        assert set(models) == set(cells)
+        # One delay per chunk: 2 cells x 3 chunks.
+        assert outcome.metrics.injected_faults == 6
+
+    def test_truncated_scan_still_yields_models(self, cells):
+        # Lose the tail of the scan: cellB keeps fewer partitions but the
+        # merge still produces a model per cell seen so far.
+        fp = FaultPlan([FaultSpec(target="scan", kind="truncate", at_index=4)])
+        models, outcome = run_partial_merge_stream(
+            cells, k=3, restarts=1, n_chunks=3, seed=0,
+            partial_clones=1, max_iter=30, fault_plan=fp,
+        )
+        assert "cellA" in models
+        assert models["cellA"].partitions == 3
+        assert outcome.metrics.injected_faults == 1

@@ -1,0 +1,398 @@
+"""Supervised recovery tests: retry policies, restart and degrade.
+
+The two acceptance scenarios from the fault-tolerance issue live here:
+
+* a seeded crash of a partial-k-means clone under ``restart`` reproduces
+  the unfaulted run's final model *exactly* (same seed), and
+* under ``degrade`` the plan completes, the loss is recorded in the
+  execution metrics, and the merged model's MSE stays within a bounded
+  factor of the clean run.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+import pytest
+
+from repro.stream.errors import (
+    ExecutionError,
+    GraphValidationError,
+    InjectedFault,
+    OperatorTimeout,
+)
+from repro.stream.executor import Executor
+from repro.stream.faults import FaultPlan, FaultSpec
+from repro.stream.graph import DataflowGraph
+from repro.stream.kmeans_ops import run_partial_merge_stream
+from repro.stream.operators import FunctionTransform, Sink, Source, Transform
+from repro.stream.planner import Planner
+from repro.stream.query import Query
+from repro.stream.scheduler import ResourceManager
+from repro.stream.supervision import (
+    RetryPolicy,
+    SupervisionPolicy,
+    Supervisor,
+)
+from tests.conftest import make_blobs
+
+
+class RangeSource(Source):
+    def __init__(self, n: int, name: str = "src"):
+        super().__init__(name)
+        self.n = n
+
+    def generate(self):
+        yield from range(self.n)
+
+
+class CollectSink(Sink):
+    def __init__(self, name: str = "sink"):
+        super().__init__(name)
+        self.items = []
+
+    def consume(self, item):
+        self.items.append(item)
+
+    def result(self):
+        return self.items
+
+
+def build_graph(transform, n_items=10, supervision=None):
+    graph = DataflowGraph()
+    graph.add(RangeSource(n_items))
+    graph.add(transform, supervision=supervision)
+    graph.add(CollectSink())
+    graph.connect("src", transform.name)
+    graph.connect(transform.name, "sink")
+    return graph
+
+
+def run(graph, supervisor=None, fault_plan=None, clones=1):
+    plan = Planner(ResourceManager(worker_slots=3)).plan(
+        graph, clone_overrides={"work": clones}, fault_plan=fault_plan
+    )
+    return Executor(supervisor=supervisor).run(plan)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+    def test_backoff_sequence_caps_at_max_delay(self):
+        policy = RetryPolicy(
+            max_retries=5, base_delay=0.1, backoff_factor=2.0, max_delay=0.35
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_before(i, rng) for i in range(4)]
+        assert delays == pytest.approx([0.1, 0.2, 0.35, 0.35])
+
+    def test_jitter_is_deterministic_per_seed(self):
+        policy = RetryPolicy(
+            max_retries=3, base_delay=0.1, jitter=0.5, seed=42
+        )
+        a = [policy.delay_before(i, policy.rng_for("op")) for i in range(3)]
+        b = [policy.delay_before(i, policy.rng_for("op")) for i in range(3)]
+        assert a == b
+        # Jitter stays inside the +/- 50% band around each backoff step.
+        for i, d in enumerate(a):
+            base = 0.1 * 2.0**i
+            assert 0.5 * base <= d <= 1.5 * base
+
+    def test_injected_fault_not_retryable_by_default(self):
+        policy = RetryPolicy(max_retries=3)
+        assert not policy.is_retryable(InjectedFault("op", 0, "boom"))
+        assert policy.is_retryable(ConnectionError("transient"))
+
+    def test_injected_fault_retryable_when_listed(self):
+        policy = RetryPolicy(max_retries=3, retryable_errors=(InjectedFault,))
+        assert policy.is_retryable(InjectedFault("op", 0, "boom"))
+
+
+class FlakyTransform(Transform):
+    """Fails the first ``failures_per_item`` attempts on each item."""
+
+    def __init__(self, failures_per_item: int, name: str = "work"):
+        super().__init__(name)
+        self.failures_per_item = failures_per_item
+        self.attempts: dict[int, int] = {}
+
+    def process(self, item):
+        seen = self.attempts.get(item, 0)
+        self.attempts[item] = seen + 1
+        if seen < self.failures_per_item:
+            raise ConnectionError("transient")
+        return [item]
+
+
+class TestRetryExecution:
+    def test_backoff_policy_on_transform_attribute(self):
+        flaky = FlakyTransform(2)
+        flaky.retry_policy = RetryPolicy(max_retries=3, base_delay=0.001)
+        outcome = run(build_graph(flaky, n_items=5))
+        assert outcome.value == list(range(5))
+        op = next(m for m in outcome.metrics.operators if m.name == "work")
+        assert op.retries == 10  # 2 retries per item x 5 items
+
+    def test_supervisor_default_retry_policy(self):
+        flaky = FlakyTransform(1)
+        supervisor = Supervisor(retry_policy=RetryPolicy(max_retries=2))
+        outcome = run(build_graph(flaky, n_items=4), supervisor=supervisor)
+        assert outcome.value == list(range(4))
+        assert outcome.metrics.total_retries == 4
+
+    def test_timeout_raises_operator_timeout(self):
+        class Slow(Transform):
+            def __init__(self):
+                super().__init__("work")
+
+            def process(self, item):
+                time.sleep(0.5)
+                return [item]
+
+        slow = Slow()
+        slow.retry_policy = RetryPolicy(max_retries=0, timeout=0.05)
+        with pytest.raises(ExecutionError) as excinfo:
+            run(build_graph(slow, n_items=1))
+        assert isinstance(excinfo.value.failures[0].__cause__, OperatorTimeout)
+
+
+class TestSupervisionPolicyValidation:
+    def test_modes(self):
+        assert SupervisionPolicy.fail_fast().mode == "fail-fast"
+        assert SupervisionPolicy.restart(3).max_restarts == 3
+        assert SupervisionPolicy.degrade().mode == "degrade"
+        with pytest.raises(ValueError):
+            SupervisionPolicy(mode="reboot")
+        with pytest.raises(ValueError):
+            SupervisionPolicy.restart(0)
+
+    def test_graph_rejects_policy_on_source_and_sink(self):
+        graph = build_graph(FunctionTransform("work", lambda i: [i]))
+        with pytest.raises(GraphValidationError, match="transforms only"):
+            graph.set_supervision("src", SupervisionPolicy.degrade())
+        with pytest.raises(GraphValidationError, match="transforms only"):
+            graph.set_supervision("sink", SupervisionPolicy.restart(1))
+        with pytest.raises(GraphValidationError, match="unknown"):
+            graph.set_supervision("ghost", SupervisionPolicy.degrade())
+
+
+class TestRestartAndDegradeOnSimpleGraphs:
+    def test_restart_replaces_instance_and_recovers(self):
+        fp = FaultPlan([FaultSpec(target="work", kind="crash", at_index=4)])
+        graph = build_graph(
+            FunctionTransform("work", lambda i: [i * i]),
+            n_items=10,
+            supervision=SupervisionPolicy.restart(1),
+        )
+        outcome = run(graph, fault_plan=fp)
+        assert outcome.value == [i * i for i in range(10)]
+        assert outcome.metrics.total_restarts == 1
+        assert outcome.metrics.injected_faults == 1
+
+    def test_restart_budget_exhaustion_escalates(self):
+        fp = FaultPlan(
+            [FaultSpec(target="work", kind="crash",
+                       probability=1.0, max_injections=10)]
+        )
+        graph = build_graph(
+            FunctionTransform("work", lambda i: [i]),
+            n_items=5,
+            supervision=SupervisionPolicy.restart(2),
+        )
+        with pytest.raises(ExecutionError) as excinfo:
+            run(graph, fault_plan=fp)
+        assert isinstance(excinfo.value.failures[0].__cause__, InjectedFault)
+
+    def test_degrade_drops_item_and_records_loss(self):
+        fp = FaultPlan([FaultSpec(target="work", kind="crash", at_index=3)])
+        graph = build_graph(
+            FunctionTransform("work", lambda i: [i]),
+            n_items=8,
+            supervision=SupervisionPolicy.degrade(),
+        )
+        outcome = run(graph, fault_plan=fp)
+        assert outcome.value == [i for i in range(8) if i != 3]
+        assert outcome.metrics.total_degraded == 1
+        assert len(outcome.metrics.lost_partitions) == 1
+
+    def test_stall_plus_timeout_degrades_item(self):
+        fp = FaultPlan(
+            [FaultSpec(target="work", kind="stall",
+                       at_index=2, delay_seconds=1.0)]
+        )
+        work = FunctionTransform("work", lambda i: [i])
+        work.retry_policy = RetryPolicy(max_retries=0, timeout=0.05)
+        graph = build_graph(
+            work, n_items=6, supervision=SupervisionPolicy.degrade()
+        )
+        outcome = run(graph, fault_plan=fp)
+        assert outcome.value == [i for i in range(6) if i != 2]
+        assert outcome.metrics.total_degraded == 1
+
+
+@pytest.fixture
+def cells():
+    centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+    return {
+        "cellA": make_blobs(80, centers, scale=0.3, seed=5),
+        "cellB": make_blobs(70, centers, scale=0.3, seed=6),
+    }
+
+
+def clean_run(cells, **kwargs):
+    return run_partial_merge_stream(
+        cells, k=3, restarts=2, n_chunks=4, seed=0,
+        partial_clones=1, max_iter=40, **kwargs
+    )
+
+
+class TestKMeansRecovery:
+    """The issue's acceptance scenarios on the real partial/merge query."""
+
+    def test_restart_reproduces_unfaulted_model_exactly(self, cells):
+        clean_models, _ = clean_run(cells)
+        fp = FaultPlan([FaultSpec(target="partial", kind="crash", at_index=3)])
+        models, outcome = clean_run(
+            cells,
+            fault_plan=fp,
+            supervision={"partial": SupervisionPolicy.restart(2)},
+        )
+        assert outcome.metrics.total_restarts == 1
+        assert outcome.metrics.injected_faults == 1
+        for cell in cells:
+            assert (
+                models[cell].centroids.tobytes()
+                == clean_models[cell].centroids.tobytes()
+            )
+            assert (
+                models[cell].weights.tobytes()
+                == clean_models[cell].weights.tobytes()
+            )
+            assert models[cell].mse == clean_models[cell].mse
+
+    def test_degrade_completes_with_bounded_mse_and_recorded_loss(self, cells):
+        clean_models, _ = clean_run(cells)
+        fp = FaultPlan([FaultSpec(target="partial", kind="crash", at_index=2)])
+        models, outcome = clean_run(
+            cells,
+            fault_plan=fp,
+            supervision={"partial": SupervisionPolicy.degrade()},
+        )
+        # The loss is visible in the metrics...
+        assert outcome.metrics.total_degraded == 1
+        assert outcome.metrics.lost_partitions == ["cellA/P2"]
+        # ...every cell still gets a model from surviving centroids...
+        assert set(models) == set(cells)
+        assert models["cellA"].partitions == 3  # one of four dropped
+        # ...and quality stays within a bounded factor of the clean run.
+        for cell in cells:
+            assert models[cell].mse <= clean_models[cell].mse * 4.0 + 1e-6
+
+    def test_same_fault_plan_replayed_twice_identical_traces(self, cells):
+        def fresh_plan():
+            return FaultPlan(
+                [
+                    FaultSpec(target="partial", kind="crash", at_index=3),
+                    FaultSpec(target="partial", kind="delay",
+                              probability=0.4, delay_seconds=0.0),
+                ],
+                seed=3,
+            )
+
+        fp_a, fp_b = fresh_plan(), fresh_plan()
+        models_a, _ = clean_run(
+            cells, fault_plan=fp_a,
+            supervision={"partial": SupervisionPolicy.restart(1)},
+        )
+        models_b, _ = clean_run(
+            cells, fault_plan=fp_b,
+            supervision={"partial": SupervisionPolicy.restart(1)},
+        )
+        assert fp_a.trace() == fp_b.trace()
+        for cell in cells:
+            assert (
+                models_a[cell].centroids.tobytes()
+                == models_b[cell].centroids.tobytes()
+            )
+
+
+class TestQueryIntegration:
+    def test_supervision_and_fault_plan_via_query_builder(self, cells):
+        fp = FaultPlan([FaultSpec(target="partial", kind="crash", at_index=1)])
+        result = (
+            Query.scan_cells(cells)
+            .partition(3)
+            .cluster(k=3, restarts=1, max_iter=30)
+            .merge()
+            .with_partial_clones(1)
+            .with_seed(0)
+            .with_supervision(
+                {"partial": SupervisionPolicy.restart(1)},
+                retry_policy=RetryPolicy(max_retries=0),
+            )
+            .execute(fault_plan=fp)
+        )
+        assert set(result.models) == set(cells)
+        assert result.execution.metrics.total_restarts == 1
+        assert result.execution.metrics.injected_faults == 1
+
+
+@pytest.mark.stress
+class TestChaosStress:
+    """Heavier randomized chaos runs; excluded from the default run."""
+
+    def test_mixed_faults_many_items_deterministic(self):
+        def fresh_plan():
+            return FaultPlan(
+                [
+                    FaultSpec(target="work", kind="delay",
+                              probability=0.05, delay_seconds=0.0005),
+                    FaultSpec(target="work", kind="crash", at_index=57),
+                    FaultSpec(target="work", kind="crash", at_index=211,
+                              max_injections=1),
+                    FaultSpec(target="src", kind="delay",
+                              probability=0.02, delay_seconds=0.0005),
+                ],
+                seed=9,
+            )
+
+        traces = []
+        for _ in range(3):
+            fp = fresh_plan()
+            graph = build_graph(
+                FunctionTransform("work", lambda i: [i + 1]),
+                n_items=400,
+                supervision=SupervisionPolicy.restart(2),
+            )
+            outcome = run(graph, fault_plan=fp)
+            assert outcome.value == [i + 1 for i in range(400)]
+            assert outcome.metrics.total_restarts == 2
+            traces.append(fp.trace())
+        assert traces[0] == traces[1] == traces[2]
+
+    def test_degrade_under_probabilistic_crashes_keeps_streaming(self):
+        fp = FaultPlan(
+            [FaultSpec(target="work", kind="crash",
+                       probability=0.1, max_injections=30)],
+            seed=13,
+        )
+        graph = build_graph(
+            FunctionTransform("work", lambda i: [i]),
+            n_items=300,
+            supervision=SupervisionPolicy.degrade(),
+        )
+        outcome = run(graph, fault_plan=fp)
+        dropped = outcome.metrics.total_degraded
+        assert dropped == len(fp.trace())
+        assert len(outcome.value) == 300 - dropped
+        assert dropped > 0
