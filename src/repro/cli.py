@@ -107,6 +107,34 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    if args.checkpoint_dir:
+        # Checkpointed clustering routes through the stream engine, which
+        # owns the run journal; the plain path below stays in-core.
+        from repro.stream.query import Query
+
+        result = (
+            Query.scan_buckets(args.bucket)
+            .partition(args.chunks)
+            .cluster(k=args.k, restarts=args.restarts)
+            .merge()
+            .with_seed(args.seed)
+            .checkpoint(args.checkpoint_dir, resume=args.resume)
+            .execute()
+        )
+        for cell_key, model in sorted(result.models.items()):
+            print(
+                f"{cell_key}: partial/merge mse={model.mse:12.2f} "
+                f"t={model.total_seconds:.3f}s"
+            )
+        checkpoint = result.execution.metrics.checkpoint
+        if checkpoint is not None:
+            print(
+                f"journal: {checkpoint.journal_path} "
+                f"(replayed={checkpoint.partitions_replayed} "
+                f"recomputed={checkpoint.partitions_recomputed})"
+            )
+        return 0
+
     cell = read_bucket_file(args.bucket)
     print(f"cell {cell.cell_id.key}: {cell.n_points} points, dim {cell.dim}")
 
@@ -192,6 +220,12 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = query.with_partial_clones(args.clones)
     if args.seed is not None:
         query = query.with_seed(args.seed)
+    if args.on_corrupt != "fail":
+        query = query.on_corrupt(args.on_corrupt)
+    if args.stall_timeout:
+        query = query.with_watchdog(args.stall_timeout)
+    if args.checkpoint_dir:
+        query = query.checkpoint(args.checkpoint_dir, resume=args.resume)
 
     query.explain()
     if args.explain_only:
@@ -367,6 +401,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--clones", type=int, default=0)
     p_query.add_argument("--seed", type=int, default=None)
     p_query.add_argument("--explain-only", action="store_true")
+    p_query.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal the run into this directory (crash-resumable)",
+    )
+    p_query.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the journal in --checkpoint-dir instead of refusing it",
+    )
+    p_query.add_argument(
+        "--on-corrupt",
+        choices=["fail", "quarantine"],
+        default="fail",
+        help="corrupted-bucket policy: abort the run or move the file "
+        "into quarantine/ and keep scanning",
+    )
+    p_query.add_argument(
+        "--stall-timeout",
+        type=float,
+        default=0.0,
+        help="fail the run if no operator makes progress for this many "
+        "seconds (0 disables the watchdog)",
+    )
     p_query.set_defaults(fn=_cmd_query)
 
     p_convergence = sub.add_parser(
@@ -409,15 +467,37 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--chunks", type=int, default=5)
     p_cluster.add_argument("--restarts", type=int, default=10)
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="journal the run into this directory (crash-resumable)",
+    )
+    p_cluster.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the journal in --checkpoint-dir instead of refusing it",
+    )
     p_cluster.set_defaults(fn=_cmd_cluster)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Operational failures — a corrupt bucket file, a missing path, a
+    stream-engine error — print a one-line message to stderr and return
+    exit code 2 instead of dumping a traceback; bugs still traceback.
+    """
+    from repro.data.gridio import GridBucketFormatError
+    from repro.stream.errors import StreamError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (GridBucketFormatError, StreamError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -20,6 +20,7 @@ buckets fail loudly instead of producing garbage clusters.
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from pathlib import Path
@@ -74,10 +75,14 @@ def write_bucket_file(path: str | Path, cell: GridCell) -> Path:
 def read_bucket_header(path: str | Path) -> tuple[GridCellId, int, int]:
     """Read only the header: ``(cell_id, n_points, dim)``.
 
-    Lets the planner size partitions without touching the payload.
+    Lets the planner size partitions without touching the payload.  The
+    file size is validated against the header's declared shape, so a
+    truncated payload fails loudly here — before any work is scheduled
+    against the bucket — instead of at the end of a streaming read.
     """
     with open(path, "rb") as handle:
         raw = handle.read(_HEADER.size)
+        file_size = os.fstat(handle.fileno()).st_size
     if len(raw) != _HEADER.size:
         raise GridBucketFormatError(f"{path}: truncated header")
     magic, lat, lon, n_points, dim, __ = _HEADER.unpack(raw)
@@ -85,6 +90,13 @@ def read_bucket_header(path: str | Path) -> tuple[GridCellId, int, int]:
         raise GridBucketFormatError(f"{path}: bad magic {magic!r}")
     if n_points < 1 or dim < 1:
         raise GridBucketFormatError(f"{path}: empty bucket (n={n_points}, d={dim})")
+    expected_size = _HEADER.size + n_points * dim * 8
+    if file_size != expected_size:
+        raise GridBucketFormatError(
+            f"{path}: file is {file_size} bytes, header declares "
+            f"{n_points}x{dim} points ({expected_size} bytes) — "
+            "truncated payload or trailing garbage"
+        )
     return GridCellId(lat=lat, lon=lon), n_points, dim
 
 

@@ -15,6 +15,15 @@ Public surface:
 """
 
 from repro.stream.adaptive import AdaptationEvent, AdaptiveExecutor
+from repro.stream.checkpoint import (
+    CheckpointError,
+    JournalFormatError,
+    JournalState,
+    JournalWriter,
+    ManifestMismatchError,
+    RecoveryManager,
+    read_journal,
+)
 from repro.stream.distributed import (
     ClusterSpec,
     DistributedSimulation,
@@ -30,6 +39,7 @@ from repro.stream.errors import (
     GraphValidationError,
     InjectedFault,
     OperatorError,
+    OperatorStalled,
     OperatorTimeout,
     QueueClosedError,
     StreamError,
@@ -46,7 +56,12 @@ from repro.stream.kmeans_ops import (
     build_partial_merge_graph,
     run_partial_merge_stream,
 )
-from repro.stream.metrics import ExecutionMetrics, OperatorMetrics
+from repro.stream.metrics import (
+    CheckpointStats,
+    ExecutionMetrics,
+    OperatorMetrics,
+    StallEvent,
+)
 from repro.stream.operators import FunctionTransform, Operator, Sink, Source, Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan, Planner
 from repro.stream.query import Query, QueryError, QueryResult
@@ -77,6 +92,14 @@ __all__ = [
     "ExecutionError",
     "InjectedFault",
     "OperatorTimeout",
+    "OperatorStalled",
+    "CheckpointError",
+    "JournalFormatError",
+    "JournalState",
+    "JournalWriter",
+    "ManifestMismatchError",
+    "RecoveryManager",
+    "read_journal",
     "ExecutionResult",
     "Executor",
     "FaultPlan",
@@ -98,6 +121,8 @@ __all__ = [
     "run_partial_merge_stream",
     "ExecutionMetrics",
     "OperatorMetrics",
+    "CheckpointStats",
+    "StallEvent",
     "FunctionTransform",
     "Operator",
     "Sink",

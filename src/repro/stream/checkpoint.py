@@ -1,0 +1,474 @@
+"""Durable run journal: crash-safe checkpointing for partial/merge queries.
+
+The paper's partial/merge decomposition makes each partition's weighted
+centroids a tiny self-contained summary (``k × (d+1)`` floats) — exactly
+the right unit of durable state.  A multi-hour run over millions of
+points should survive a process kill without re-scanning completed
+partitions, the same "never touch a point twice" discipline the paper's
+one-pass stream restrictions demand.
+
+This module provides the pieces:
+
+* :class:`JournalWriter` / :func:`read_journal` — an append-only,
+  fsync'd, CRC-framed record log (the GBK checksum discipline applied to
+  run state).  A torn final record — the signature of a mid-write crash —
+  is detected by its frame and the journal recovers to the last complete
+  record; garbage is never replayed.
+* :class:`JournalState` — the decoded journal: manifest, completed
+  partition summaries, finalised cell models, run-complete marker.
+* :class:`RecoveryManager` — validates a journal's manifest against the
+  current inputs and configuration, decides which partitions can be
+  replayed from the journal and which buckets must be rescanned, and
+  reopens the journal for appending (truncating any torn tail first).
+
+Journal layout (little-endian)::
+
+    magic    4 bytes   b"RJL1"
+    version  uint32    format version (currently 1)
+    -- zero or more records --
+    length   uint32    payload bytes
+    crc32    uint32    checksum of the payload
+    payload  length bytes of JSON (record kind in the "kind" key)
+
+Record kinds: ``manifest`` (config + seed + input inventory), ``partition``
+(one partition's weighted centroids), ``cell`` (one cell's merged model)
+and ``complete`` (run finished).  Float arrays are encoded as base64 of
+their little-endian float64 bytes, so replayed centroids are *bit
+identical* to the originals — JSON float round-tripping never touches
+them.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.core.model import ClusterModel, WeightedCentroidSet
+from repro.data.gridio import GridBucketFormatError, read_bucket_header
+from repro.stream.errors import StreamError
+from repro.stream.items import CentroidMessage
+
+__all__ = [
+    "CheckpointError",
+    "JournalFormatError",
+    "ManifestMismatchError",
+    "JournalWriter",
+    "JournalState",
+    "read_journal",
+    "RecoveryManager",
+    "bucket_inventory",
+    "JOURNAL_FILENAME",
+]
+
+_MAGIC = b"RJL1"
+_VERSION = 1
+_FILE_HEADER = struct.Struct("<4sI")
+_FRAME = struct.Struct("<II")
+
+#: A single journal record may not exceed this (a frame whose declared
+#: length is larger is treated as corruption, not as a 4 GB allocation).
+_MAX_RECORD_BYTES = 64 * 1024 * 1024
+
+#: Journal filename inside a checkpoint/run directory.
+JOURNAL_FILENAME = "journal.rjl"
+
+
+class CheckpointError(StreamError):
+    """Base class for run-journal errors."""
+
+
+class JournalFormatError(CheckpointError):
+    """The journal file header is unreadable (bad magic or version)."""
+
+
+class ManifestMismatchError(CheckpointError):
+    """The journal's manifest disagrees with the current inputs/config.
+
+    Resuming under a different configuration or over changed inputs would
+    silently produce a model that matches neither run; refuse instead.
+    """
+
+
+# -- array codec ------------------------------------------------------------
+
+
+def _encode_array(array: np.ndarray) -> dict[str, Any]:
+    """Encode a float array as base64 of its little-endian float64 bytes."""
+    contiguous = np.ascontiguousarray(array, dtype="<f8")
+    return {
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def _decode_array(blob: Mapping[str, Any]) -> np.ndarray:
+    shape = tuple(int(s) for s in blob["shape"])
+    raw = base64.b64decode(blob["data"])
+    return np.frombuffer(raw, dtype="<f8").reshape(shape).copy()
+
+
+# -- writer ----------------------------------------------------------------
+
+
+class JournalWriter:
+    """Append-only, fsync'd, CRC-framed run journal.
+
+    Opening an existing journal first scans it and truncates any torn
+    tail (a partial frame left by a mid-write crash), so appends always
+    continue from the last complete record.  A fresh file gets the magic
+    header.
+
+    Args:
+        path: journal file path.
+        fsync: fsync after every record (default).  Turning it off trades
+            durability for write latency — tests only.
+    """
+
+    def __init__(self, path: str | Path, fsync: bool = True) -> None:
+        self.path = Path(path)
+        self._fsync = fsync
+        self._lock = threading.Lock()
+        self.partition_records = 0
+        self.cell_records = 0
+        if self.path.exists() and self.path.stat().st_size > 0:
+            state = read_journal(self.path)
+            if state.torn:
+                with open(self.path, "r+b") as handle:
+                    handle.truncate(state.valid_bytes)
+            self._handle = open(self.path, "ab")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "wb")
+            self._handle.write(_FILE_HEADER.pack(_MAGIC, _VERSION))
+            self._sync()
+
+    def _sync(self) -> None:
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Append one record (frame + payload) and sync it to disk."""
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        with self._lock:
+            self._handle.write(_FRAME.pack(len(payload), zlib.crc32(payload)))
+            self._handle.write(payload)
+            self._sync()
+
+    # -- record constructors ------------------------------------------------
+
+    def append_manifest(self, manifest: Mapping[str, Any]) -> None:
+        """Record the run manifest (config + seed + input inventory)."""
+        self.append({"kind": "manifest", "manifest": dict(manifest)})
+
+    def append_partition(self, message: CentroidMessage) -> None:
+        """Record one completed partition's weighted centroids."""
+        self.append(
+            {
+                "kind": "partition",
+                "cell": message.cell_id,
+                "partition": message.partition,
+                "n_partitions": message.n_partitions,
+                "centroids": _encode_array(message.summary.centroids),
+                "weights": _encode_array(message.summary.weights),
+                "source": message.summary.source,
+                "partial_seconds": message.partial_seconds,
+                "partial_iterations": message.partial_iterations,
+            }
+        )
+        self.partition_records += 1
+
+    def append_cell(self, cell_id: str, model: ClusterModel) -> None:
+        """Record one cell's merged final model."""
+        extra = {
+            key: value
+            for key, value in model.extra.items()
+            if isinstance(value, (int, float, str, bool, list))
+        }
+        self.append(
+            {
+                "kind": "cell",
+                "cell": cell_id,
+                "centroids": _encode_array(model.centroids),
+                "weights": _encode_array(model.weights),
+                "mse": model.mse,
+                "method": model.method,
+                "partitions": model.partitions,
+                "restarts": model.restarts,
+                "partial_seconds": model.partial_seconds,
+                "merge_seconds": model.merge_seconds,
+                "total_seconds": model.total_seconds,
+                "extra": extra,
+            }
+        )
+        self.cell_records += 1
+
+    def append_complete(self) -> None:
+        """Record the run-complete marker."""
+        self.append({"kind": "complete"})
+
+    def bytes_written(self) -> int:
+        """Current journal size in bytes."""
+        with self._lock:
+            self._handle.flush()
+        return self.path.stat().st_size
+
+    def close(self) -> None:
+        """Flush, sync and close the journal file."""
+        with self._lock:
+            if not self._handle.closed:
+                self._sync()
+                self._handle.close()
+
+    def __enter__(self) -> "JournalWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- reader ----------------------------------------------------------------
+
+
+@dataclass
+class JournalState:
+    """Decoded contents of one run journal.
+
+    Attributes:
+        manifest: the recorded run manifest (``None`` if never written).
+        partitions: completed partition summaries, ``cell -> {partition:
+            CentroidMessage}``.
+        cells: finalised cell models, ``cell -> ClusterModel``.
+        complete: whether the run-complete marker was found.
+        torn: whether the file ended in a torn/corrupt record (recovered
+            by stopping at the last complete record).
+        valid_bytes: file offset of the last complete record's end — the
+            truncation point for reopening.
+        records: number of complete records decoded.
+    """
+
+    manifest: dict[str, Any] | None = None
+    partitions: dict[str, dict[int, CentroidMessage]] = field(default_factory=dict)
+    cells: dict[str, ClusterModel] = field(default_factory=dict)
+    complete: bool = False
+    torn: bool = False
+    valid_bytes: int = 0
+    records: int = 0
+
+    def replayable_messages(self) -> list[CentroidMessage]:
+        """Partition summaries for cells without a finalised model."""
+        messages: list[CentroidMessage] = []
+        for cell_id, by_partition in self.partitions.items():
+            if cell_id in self.cells:
+                continue
+            messages.extend(
+                by_partition[index] for index in sorted(by_partition)
+            )
+        return messages
+
+    def completed_cells(self) -> set[str]:
+        """Cells whose every partition (or final model) is journaled."""
+        done = set(self.cells)
+        for cell_id, by_partition in self.partitions.items():
+            expected = {
+                message.n_partitions for message in by_partition.values()
+            } - {0}
+            if len(expected) == 1 and len(by_partition) == expected.pop():
+                done.add(cell_id)
+        return done
+
+
+def _decode_record(record: Mapping[str, Any], state: JournalState) -> None:
+    kind = record.get("kind")
+    if kind == "manifest":
+        state.manifest = dict(record["manifest"])
+    elif kind == "partition":
+        summary = WeightedCentroidSet(
+            centroids=_decode_array(record["centroids"]),
+            weights=_decode_array(record["weights"]),
+            source=record.get("source", ""),
+        )
+        message = CentroidMessage(
+            cell_id=record["cell"],
+            partition=int(record["partition"]),
+            summary=summary,
+            n_partitions=int(record.get("n_partitions", 0)),
+            partial_seconds=float(record.get("partial_seconds", 0.0)),
+            partial_iterations=int(record.get("partial_iterations", 0)),
+        )
+        state.partitions.setdefault(message.cell_id, {})[
+            message.partition
+        ] = message
+    elif kind == "cell":
+        state.cells[record["cell"]] = ClusterModel(
+            centroids=_decode_array(record["centroids"]),
+            weights=_decode_array(record["weights"]),
+            mse=float(record["mse"]),
+            method=record.get("method", "partial/merge[journal]"),
+            partitions=int(record.get("partitions", 1)),
+            restarts=int(record.get("restarts", 1)),
+            partial_seconds=float(record.get("partial_seconds", 0.0)),
+            merge_seconds=float(record.get("merge_seconds", 0.0)),
+            total_seconds=float(record.get("total_seconds", 0.0)),
+            extra=dict(record.get("extra", {})),
+        )
+    elif kind == "complete":
+        state.complete = True
+    # Unknown kinds are skipped: forward compatibility for readers.
+
+
+def read_journal(path: str | Path) -> JournalState:
+    """Decode a run journal, recovering past a torn final record.
+
+    The reader walks CRC-framed records sequentially and stops at the
+    first frame that is truncated, oversized, fails its checksum or does
+    not parse — everything after a corrupt frame in an append-only log is
+    untrustworthy.  ``state.torn`` reports whether such a tail was found
+    and ``state.valid_bytes`` is the offset to truncate to.
+
+    Raises:
+        JournalFormatError: the file header itself is unreadable.
+    """
+    target = Path(path)
+    with open(target, "rb") as handle:
+        header = handle.read(_FILE_HEADER.size)
+        if len(header) != _FILE_HEADER.size:
+            raise JournalFormatError(f"{target}: truncated journal header")
+        magic, version = _FILE_HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise JournalFormatError(f"{target}: bad journal magic {magic!r}")
+        if version != _VERSION:
+            raise JournalFormatError(
+                f"{target}: unsupported journal version {version}"
+            )
+        state = JournalState(valid_bytes=_FILE_HEADER.size)
+        while True:
+            frame = handle.read(_FRAME.size)
+            if not frame:
+                break
+            if len(frame) < _FRAME.size:
+                state.torn = True
+                break
+            length, crc_expected = _FRAME.unpack(frame)
+            if length > _MAX_RECORD_BYTES:
+                state.torn = True
+                break
+            payload = handle.read(length)
+            if len(payload) != length or zlib.crc32(payload) != crc_expected:
+                state.torn = True
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                state.torn = True
+                break
+            _decode_record(record, state)
+            state.records += 1
+            state.valid_bytes = handle.tell()
+    return state
+
+
+# -- manifest --------------------------------------------------------------
+
+
+def bucket_inventory(paths: Iterable[Path]) -> list[dict[str, Any]]:
+    """Header-level inventory of bucket files, for manifest validation.
+
+    Files whose header cannot be read are listed with an ``"error"`` key
+    so the caller can apply its corruption policy.
+    """
+    inventory: list[dict[str, Any]] = []
+    for path in sorted(Path(p) for p in paths):
+        try:
+            cell_id, n_points, dim = read_bucket_header(path)
+        except (GridBucketFormatError, OSError) as exc:
+            inventory.append({"name": path.name, "error": str(exc)})
+            continue
+        inventory.append(
+            {
+                "name": path.name,
+                "cell": cell_id.key,
+                "n": int(n_points),
+                "dim": int(dim),
+            }
+        )
+    return inventory
+
+
+# -- recovery --------------------------------------------------------------
+
+
+class RecoveryManager:
+    """Validates and replays a run directory's journal.
+
+    Args:
+        run_dir: checkpoint directory holding (or about to hold) the
+            journal; created on first write.
+    """
+
+    def __init__(self, run_dir: str | Path) -> None:
+        self.run_dir = Path(run_dir)
+        self.journal_path = self.run_dir / JOURNAL_FILENAME
+
+    def journal_exists(self) -> bool:
+        """Whether a non-empty journal is present."""
+        return (
+            self.journal_path.exists()
+            and self.journal_path.stat().st_size >= _FILE_HEADER.size
+        )
+
+    def load(self) -> JournalState:
+        """Decode the journal (recovering past any torn tail)."""
+        return read_journal(self.journal_path)
+
+    def open_writer(self, fsync: bool = True) -> JournalWriter:
+        """Open the journal for appending, truncating a torn tail first."""
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        return JournalWriter(self.journal_path, fsync=fsync)
+
+    @staticmethod
+    def validate_manifest(
+        recorded: Mapping[str, Any] | None,
+        current: Mapping[str, Any],
+        ignore: Iterable[str] = (),
+    ) -> None:
+        """Compare the journaled manifest against the current run's.
+
+        Args:
+            recorded: manifest decoded from the journal.
+            current: manifest built from the current inputs and config.
+            ignore: top-level keys exempt from comparison (e.g. ``"seed"``
+                when the caller adopts the journaled seed).
+
+        Raises:
+            ManifestMismatchError: on any difference, naming every
+                mismatching key.
+        """
+        if recorded is None:
+            raise ManifestMismatchError(
+                "journal has no manifest record; cannot validate resume"
+            )
+        skipped = set(ignore)
+        mismatches: list[str] = []
+        for key in sorted(set(recorded) | set(current)):
+            if key in skipped:
+                continue
+            if recorded.get(key) != current.get(key):
+                mismatches.append(
+                    f"{key}: journal={recorded.get(key)!r} "
+                    f"current={current.get(key)!r}"
+                )
+        if mismatches:
+            raise ManifestMismatchError(
+                "journal manifest does not match the current run: "
+                + "; ".join(mismatches)
+            )

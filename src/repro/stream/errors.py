@@ -10,6 +10,7 @@ __all__ = [
     "ExecutionError",
     "InjectedFault",
     "OperatorTimeout",
+    "OperatorStalled",
 ]
 
 
@@ -75,14 +76,43 @@ class OperatorTimeout(StreamError):
         self.timeout = timeout
 
 
+class OperatorStalled(StreamError):
+    """The executor's watchdog found an operator making no queue progress.
+
+    Raised on the watchdog's behalf (the hung thread itself cannot raise)
+    after the stall deadline passes with no item movement anywhere in the
+    plan; the stall diagnosis (thread stacks, queue depths) is recorded in
+    the execution metrics.
+
+    Attributes:
+        operator_name: the stalled physical operator (or ``"plan"`` when
+            no single suspect could be identified).
+        stall_seconds: how long progress counters were flat.
+    """
+
+    def __init__(self, operator_name: str, stall_seconds: float) -> None:
+        super().__init__(
+            f"operator {operator_name!r} made no progress for "
+            f"{stall_seconds:.1f}s (watchdog deadline)"
+        )
+        self.operator_name = operator_name
+        self.stall_seconds = stall_seconds
+
+
 class ExecutionError(StreamError):
     """Execution of a physical plan failed; carries all operator errors.
 
     Attributes:
         failures: the individual :class:`OperatorError` instances.
+        metrics: the partial execution metrics gathered before the plan
+            died (``None`` when unavailable).  Watchdog stall diagnoses
+            live here — the run that needed them never returns normally.
     """
 
-    def __init__(self, failures: list[OperatorError]) -> None:
+    def __init__(
+        self, failures: list[OperatorError], metrics=None
+    ) -> None:
         names = ", ".join(f.operator_name for f in failures)
         super().__init__(f"{len(failures)} operator(s) failed: {names}")
         self.failures = failures
+        self.metrics = metrics

@@ -15,17 +15,40 @@ fashion the paper describes.  Failure handling is layered:
 * plan failure — an unrecovered error aborts all queues (unblocking
   everyone) and surfaces as an :class:`ExecutionError` carrying every
   operator failure.
+
+A plan compiled with ``stall_timeout`` additionally runs a **watchdog**
+thread: when no queue or operator counter moves for the deadline while
+worker threads are still alive, the watchdog records a stall diagnosis
+(per-thread Python stacks, queue depths, the stalled operators' effective
+supervision policies) into the execution metrics, then escalates by
+failing the plan with :class:`~repro.stream.errors.OperatorStalled` —
+a hung thread cannot raise for itself, so the watchdog raises on its
+behalf and the run fails loudly instead of hanging for hours.  The stuck
+thread itself is abandoned (daemon), exactly like a per-attempt
+:class:`~repro.stream.errors.OperatorTimeout`.
 """
 
 from __future__ import annotations
 
+import sys
 import threading
 import time
+import traceback
 from dataclasses import dataclass
 from typing import Any
 
-from repro.stream.errors import ExecutionError, OperatorError, QueueClosedError
-from repro.stream.metrics import ExecutionMetrics, OperatorMetrics, stopwatch
+from repro.stream.errors import (
+    ExecutionError,
+    OperatorError,
+    OperatorStalled,
+    QueueClosedError,
+)
+from repro.stream.metrics import (
+    ExecutionMetrics,
+    OperatorMetrics,
+    StallEvent,
+    stopwatch,
+)
 from repro.stream.operators import Sink, Source, Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan
 from repro.stream.queues import END_OF_STREAM
@@ -67,8 +90,18 @@ class Executor:
         >>> result = executor.run(planner.plan(graph)) # doctest: +SKIP
     """
 
-    def __init__(self, supervisor: Supervisor | None = None) -> None:
+    #: Seconds granted to healthy threads to drain after a stall abort.
+    _STALL_GRACE = 2.0
+
+    def __init__(
+        self,
+        supervisor: Supervisor | None = None,
+        stall_timeout: float | None = None,
+    ) -> None:
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be positive, got {stall_timeout}")
         self.supervisor = supervisor if supervisor is not None else Supervisor()
+        self.stall_timeout = stall_timeout
 
     def run(self, plan: PhysicalPlan) -> ExecutionResult:
         """Execute ``plan`` to completion.
@@ -78,13 +111,19 @@ class Executor:
 
         Raises:
             ExecutionError: if any operator failed; all other operators
-                are unblocked and joined before raising.
+                are unblocked and joined before raising.  A watchdog
+                stall surfaces as an
+                :class:`~repro.stream.errors.OperatorStalled` failure.
         """
         if not plan.operators:
             raise ExecutionError([])
+        stall_timeout = (
+            plan.stall_timeout if plan.stall_timeout is not None else self.stall_timeout
+        )
         failures: list[OperatorError] = []
         failures_lock = threading.Lock()
         all_metrics: list[OperatorMetrics] = []
+        stalls: list[StallEvent] = []
         sink_box: dict[str, Any] = {}
 
         def record_failure(err: OperatorError) -> None:
@@ -107,8 +146,18 @@ class Executor:
             threads.append(thread)
         for thread in threads:
             thread.start()
-        for thread in threads:
-            thread.join()
+        if stall_timeout is None:
+            for thread in threads:
+                thread.join()
+        else:
+            self._join_with_watchdog(
+                plan,
+                threads,
+                all_metrics,
+                stall_timeout,
+                stalls,
+                record_failure,
+            )
         wall = time.perf_counter() - started
 
         metrics = ExecutionMetrics(
@@ -120,10 +169,122 @@ class Executor:
                 if plan.fault_plan is not None
                 else 0
             ),
+            stalls=stalls,
         )
         if failures:
-            raise ExecutionError(failures)
+            raise ExecutionError(failures, metrics=metrics)
         return ExecutionResult(value=sink_box.get("result"), metrics=metrics)
+
+    # -- watchdog -----------------------------------------------------------
+
+    @staticmethod
+    def _progress_counter(
+        plan: PhysicalPlan, all_metrics: list[OperatorMetrics]
+    ) -> int:
+        """Monotone counter that moves whenever any item moves anywhere."""
+        total = 0
+        for queue in plan.queues.values():
+            total += queue.stats.puts + queue.stats.gets
+        for metrics in all_metrics:
+            total += metrics.items_in + metrics.items_out
+        return total
+
+    def _join_with_watchdog(
+        self,
+        plan: PhysicalPlan,
+        threads: list[threading.Thread],
+        all_metrics: list[OperatorMetrics],
+        stall_timeout: float,
+        stalls: list[StallEvent],
+        record_failure,
+    ) -> None:
+        """Join worker threads while monitoring plan-wide progress.
+
+        When no queue or operator counter moves for ``stall_timeout``
+        seconds while workers are still alive, a diagnosis is recorded,
+        the plan is failed with :class:`OperatorStalled` per suspect, and
+        remaining threads get a short grace period before the stuck ones
+        are abandoned (they are daemons).
+        """
+        poll = min(stall_timeout / 4.0, 0.25)
+        last_progress = self._progress_counter(plan, all_metrics)
+        last_change = time.monotonic()
+        while True:
+            alive = [t for t in threads if t.is_alive()]
+            if not alive:
+                return
+            for thread in alive:
+                thread.join(poll / max(1, len(alive)))
+            progress = self._progress_counter(plan, all_metrics)
+            now = time.monotonic()
+            if progress != last_progress:
+                last_progress = progress
+                last_change = now
+                continue
+            waited = now - last_change
+            if waited < stall_timeout:
+                continue
+            event = self._diagnose_stall(plan, threads, waited)
+            stalls.append(event)
+            targets = event.suspects or ("plan",)
+            for name in targets:
+                record_failure(
+                    OperatorError(name, OperatorStalled(name, waited))
+                )
+            deadline = time.monotonic() + self._STALL_GRACE
+            for thread in threads:
+                remaining = deadline - time.monotonic()
+                if remaining > 0:
+                    thread.join(remaining)
+            return
+
+    def _diagnose_stall(
+        self, plan: PhysicalPlan, threads: list[threading.Thread], waited: float
+    ) -> StallEvent:
+        """Capture thread stacks, queue depths and suspect operators."""
+        frames = sys._current_frames()
+        stacks: dict[str, str] = {}
+        suspects: list[str] = []
+        by_ident = {thread.ident: thread for thread in threads}
+        physical_by_thread = {
+            f"stream-{op.name}": op for op in plan.operators
+        }
+        for ident, frame in frames.items():
+            thread = by_ident.get(ident)
+            if thread is None or not thread.is_alive():
+                continue
+            stack_text = "".join(traceback.format_stack(frame))
+            stacks[thread.name] = stack_text
+            # Blocked-on-queue threads are victims of the stall, not its
+            # cause; a thread stuck *inside* an operator call is a suspect.
+            blocked_on_queue = any(
+                frame_line.name in ("get", "put", "wait")
+                and "queues.py" in frame_line.filename
+                or frame_line.name == "wait"
+                and "threading" in frame_line.filename
+                for frame_line in traceback.extract_stack(frame)[-3:]
+            )
+            physical = physical_by_thread.get(thread.name)
+            if physical is not None and not blocked_on_queue:
+                suspects.append(physical.name)
+        policies = {}
+        for name in suspects:
+            physical = next(
+                (op for op in plan.operators if op.name == name), None
+            )
+            if physical is not None:
+                policies[name] = self._policy_for(
+                    plan, physical.logical_name
+                ).mode
+        return StallEvent(
+            waited_seconds=waited,
+            suspects=tuple(sorted(suspects)),
+            policies=policies,
+            queue_depths={
+                queue.name: len(queue) for queue in plan.queues.values()
+            },
+            thread_stacks=stacks,
+        )
 
     def _policy_for(
         self, plan: PhysicalPlan, logical_name: str
@@ -179,6 +340,10 @@ class Executor:
                 physical.output_queue.put(item)
                 metrics.items_out += 1
         finally:
+            base = getattr(source, "inner", source)
+            quarantined = getattr(base, "quarantined", None)
+            if quarantined:
+                metrics.quarantined_files.extend(quarantined)
             physical.output_queue.producer_done()
 
     def _run_transform(

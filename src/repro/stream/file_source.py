@@ -9,34 +9,70 @@ whole cell is never resident, which is the paper's point.
 The chunk size is derived from the header (point count and
 dimensionality) and the resource envelope, so the same source adapts from
 250-point to million-point cells without configuration.
+
+Robustness knobs:
+
+* ``on_corrupt`` — what a :class:`~repro.data.gridio.GridBucketFormatError`
+  in one bucket does to the directory scan.  ``"fail"`` (default) aborts
+  the plan, the historical behaviour; ``"quarantine"`` moves the offending
+  file into a ``quarantine/`` subdirectory, records the loss (surfaced in
+  execution metrics) and keeps scanning — one bad bucket no longer costs
+  the other thousand.
+* ``skip_cells`` / ``skip_partitions`` — resume support for the run
+  journal (:mod:`repro.stream.checkpoint`): fully-journaled buckets are
+  never re-read (header only), and individually journaled partitions of a
+  partially-complete bucket are read (the one-pass CRC still covers the
+  file) but not re-emitted.
 """
 
 from __future__ import annotations
 
+import shutil
 from pathlib import Path
-from typing import Iterator
+from typing import Collection, Iterator
 
-from repro.data.gridio import read_bucket_header, stream_bucket_points
+from repro.data.gridio import (
+    GridBucketFormatError,
+    read_bucket_header,
+    stream_bucket_points,
+)
 from repro.stream.items import DataChunk
 from repro.stream.operators import Source
 from repro.stream.scheduler import ResourceManager
 
-__all__ = ["BucketFileSource"]
+__all__ = ["BucketFileSource", "FAIL", "QUARANTINE", "QUARANTINE_DIRNAME"]
+
+FAIL = "fail"
+QUARANTINE = "quarantine"
+_POLICIES = (FAIL, QUARANTINE)
+
+#: Subdirectory corrupted buckets are moved into under ``quarantine`` policy.
+QUARANTINE_DIRNAME = "quarantine"
 
 
 class BucketFileSource(Source):
     """Stream grid-bucket files as memory-sized data chunks.
 
     Args:
-        directory: directory containing ``.gbk`` bucket files.
+        directory: directory containing ``.gbk`` bucket files, or a
+            single ``.gbk`` file.
         resources: memory envelope; decides the chunk size per cell.
         n_chunks: fixed chunk count per cell, overriding the memory
             derivation (used to replay the paper's 5/10-split setup from
             disk).
+        on_corrupt: ``"fail"`` aborts the scan on the first corrupted
+            bucket; ``"quarantine"`` moves it aside and keeps going.
+        quarantine_dir: where quarantined files go (default:
+            ``<directory>/quarantine``).
+        skip_cells: cell keys whose buckets are not re-read (their
+            summaries are replayed from a run journal).
+        skip_partitions: ``(cell_key, partition)`` pairs that are read
+            but not re-emitted (journal resume of partial cells).
         name: operator name.
 
     Raises:
-        ValueError: if the directory contains no bucket files.
+        ValueError: if the directory contains no bucket files or the
+            corruption policy is unknown.
     """
 
     def __init__(
@@ -44,32 +80,79 @@ class BucketFileSource(Source):
         directory: str | Path,
         resources: ResourceManager | None = None,
         n_chunks: int | None = None,
+        on_corrupt: str = FAIL,
+        quarantine_dir: str | Path | None = None,
+        skip_cells: Collection[str] = (),
+        skip_partitions: Collection[tuple[str, int]] = (),
         name: str = "scan-files",
     ) -> None:
         super().__init__(name)
-        self._paths = sorted(Path(directory).glob("*.gbk"))
+        root = Path(directory)
+        if root.is_file():
+            self._paths = [root]
+            default_quarantine = root.parent / QUARANTINE_DIRNAME
+        else:
+            self._paths = sorted(root.glob("*.gbk"))
+            default_quarantine = root / QUARANTINE_DIRNAME
         if not self._paths:
             raise ValueError(f"no .gbk bucket files under {directory}")
         if n_chunks is not None and n_chunks < 1:
             raise ValueError(f"n_chunks must be >= 1, got {n_chunks}")
+        if on_corrupt not in _POLICIES:
+            raise ValueError(
+                f"unknown corruption policy {on_corrupt!r}; use {_POLICIES}"
+            )
         self._resources = resources if resources is not None else ResourceManager()
         self._n_chunks = n_chunks
+        self._on_corrupt = on_corrupt
+        self._quarantine_dir = (
+            Path(quarantine_dir) if quarantine_dir is not None else default_quarantine
+        )
+        self._skip_cells = frozenset(skip_cells)
+        self._skip_partitions = frozenset(skip_partitions)
+        #: ``"filename: reason"`` per quarantined bucket, in scan order;
+        #: the executor copies this into the operator's metrics.
+        self.quarantined: list[str] = []
+
+    def _quarantine(self, path: Path, error: GridBucketFormatError) -> None:
+        self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+        shutil.move(str(path), str(self._quarantine_dir / path.name))
+        self.quarantined.append(f"{path.name}: {error}")
 
     def generate(self) -> Iterator[DataChunk]:
         for path in self._paths:
-            cell_id, n_points, dim = read_bucket_header(path)
+            try:
+                cell_id, n_points, dim = read_bucket_header(path)
+            except GridBucketFormatError as exc:
+                if self._on_corrupt == FAIL:
+                    raise
+                self._quarantine(path, exc)
+                continue
+            if cell_id.key in self._skip_cells:
+                continue
             if self._n_chunks is not None:
                 n_chunks = min(self._n_chunks, n_points)
                 chunk_points = -(-n_points // n_chunks)
             else:
                 chunk_points = self._resources.max_points_per_partition(dim)
                 n_chunks = -(-n_points // chunk_points)
-            for partition, chunk in enumerate(
-                stream_bucket_points(path, chunk_points)
-            ):
-                yield DataChunk(
-                    cell_id=cell_id.key,
-                    partition=partition,
-                    points=chunk,
-                    n_partitions=n_chunks,
-                )
+            try:
+                for partition, chunk in enumerate(
+                    stream_bucket_points(path, chunk_points)
+                ):
+                    if (cell_id.key, partition) in self._skip_partitions:
+                        continue
+                    yield DataChunk(
+                        cell_id=cell_id.key,
+                        partition=partition,
+                        points=chunk,
+                        n_partitions=n_chunks,
+                    )
+            except GridBucketFormatError as exc:
+                # Mid-stream corruption (the end-of-file CRC): chunks
+                # already emitted stay in flight; the merge sink finalises
+                # the cell from whatever partitions arrive, and the loss
+                # is recorded here.
+                if self._on_corrupt == FAIL:
+                    raise
+                self._quarantine(path, exc)

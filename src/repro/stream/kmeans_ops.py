@@ -17,8 +17,9 @@ resource envelope (which decides partial clone counts) and executes it.
 
 from __future__ import annotations
 
+import hashlib
 import time
-from typing import Iterator, Mapping
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
 
@@ -37,6 +38,9 @@ from repro.stream.operators import Sink, Source, Transform
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
 from repro.stream.supervision import RetryPolicy, SupervisionPolicy, Supervisor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (checkpoint uses items)
+    from repro.stream.checkpoint import JournalWriter
 
 __all__ = [
     "GridCellChunkSource",
@@ -105,9 +109,14 @@ class GridCellChunkSource(Source):
 class PartialKMeansOperator(Transform):
     """Cloneable transform running partial k-means on each chunk.
 
-    Clones draw independent child seeds from a shared
-    :class:`numpy.random.SeedSequence`, so parallel plans remain
-    reproducible for a fixed seed regardless of clone count.
+    Every chunk's RNG is derived from the base seed and the chunk's
+    identity ``(cell_id, partition)`` — never from processing order — so
+    a partition's weighted centroids depend only on the seed and the
+    chunk's points.  That makes parallel plans reproducible for a fixed
+    seed *regardless of clone count or scheduling*, and it is what lets a
+    journal resume (:mod:`repro.stream.checkpoint`) skip completed
+    partitions and still produce a bit-identical final model.  Clones
+    share the base seed sequence for the same reason.
     """
 
     def __init__(
@@ -131,7 +140,6 @@ class PartialKMeansOperator(Transform):
         self._seed_sequence = (
             seed_sequence if seed_sequence is not None else np.random.SeedSequence()
         )
-        self._rng = np.random.default_rng(self._seed_sequence.spawn(1)[0])
 
     def clone(self) -> "PartialKMeansOperator":
         return PartialKMeansOperator(
@@ -140,9 +148,24 @@ class PartialKMeansOperator(Transform):
             seeding=self.seeding,
             criterion=self.criterion,
             max_iter=self.max_iter,
-            seed_sequence=self._seed_sequence.spawn(1)[0],
+            seed_sequence=self._seed_sequence,
             name=self.name,
         )
+
+    def _rng_for_chunk(self, cell_id: str, partition: int) -> np.random.Generator:
+        """Chunk-identity RNG: a pure function of (seed, cell, partition)."""
+        digest = hashlib.blake2b(cell_id.encode("utf-8"), digest_size=8).digest()
+        base = self._seed_sequence
+        derived = np.random.SeedSequence(
+            entropy=base.entropy,
+            spawn_key=tuple(base.spawn_key)
+            + (
+                int.from_bytes(digest[:4], "little"),
+                int.from_bytes(digest[4:], "little"),
+                partition,
+            ),
+        )
+        return np.random.default_rng(derived)
 
     def process(
         self, item: DataChunk | Watermark
@@ -157,7 +180,7 @@ class PartialKMeansOperator(Transform):
             item.points,
             self.k,
             self.restarts,
-            self._rng,
+            self._rng_for_chunk(item.cell_id, item.partition),
             source=f"{item.cell_id}/P{item.partition}",
             seeding=self.seeding,
             criterion=self.criterion,
@@ -185,6 +208,11 @@ class MergeKMeansSink(Sink):
         evaluate_on: optional mapping of cell id to raw points; when given,
             each final model's MSE is recomputed against the raw data so
             results are directly comparable with the serial baseline.
+        journal: optional run journal
+            (:class:`~repro.stream.checkpoint.JournalWriter`); every
+            streamed partition summary is journaled on arrival and every
+            finalised cell model on completion, which is what makes a
+            killed run resumable.
     """
 
     def __init__(
@@ -193,6 +221,7 @@ class MergeKMeansSink(Sink):
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         evaluate_on: Mapping[str, np.ndarray] | None = None,
+        journal: "JournalWriter | None" = None,
         name: str = "merge",
     ) -> None:
         super().__init__(name)
@@ -200,9 +229,29 @@ class MergeKMeansSink(Sink):
         self.criterion = criterion
         self.max_iter = max_iter
         self._evaluate_on = dict(evaluate_on or {})
+        self._journal = journal
         self._pending: dict[str, list[CentroidMessage]] = {}
         self._expected: dict[str, int] = {}
         self._models: dict[str, ClusterModel] = {}
+
+    def preload(self, messages: Iterable[CentroidMessage]) -> None:
+        """Replay journaled partition summaries without re-journaling them.
+
+        Used on resume: completed partitions flow straight into the merge
+        state, and cells whose last partition was already journaled are
+        finalised immediately.
+        """
+        for message in messages:
+            bucket = self._pending.setdefault(message.cell_id, [])
+            bucket.append(message)
+            if message.n_partitions:
+                self._expected[message.cell_id] = message.n_partitions
+        for cell_id in list(self._pending):
+            self._maybe_finalize(cell_id)
+
+    def preload_model(self, cell_id: str, model: ClusterModel) -> None:
+        """Adopt an already-finalised cell model from the journal."""
+        self._models[cell_id] = model
 
     def consume(self, item: CentroidMessage | Watermark) -> None:
         if isinstance(item, Watermark):
@@ -213,6 +262,8 @@ class MergeKMeansSink(Sink):
             self._expected[item.cell_id] = item.n_partitions
             self._maybe_finalize(item.cell_id)
             return
+        if self._journal is not None:
+            self._journal.append_partition(item)
         bucket = self._pending.setdefault(item.cell_id, [])
         bucket.append(item)
         if item.n_partitions:
@@ -248,7 +299,7 @@ class MergeKMeansSink(Sink):
             evaluate_mse(raw, merged.model.centroids) if raw is not None else merged.mse
         )
         partial_seconds = sum(m.partial_seconds for m in messages)
-        self._models[cell_id] = ClusterModel(
+        model = ClusterModel(
             centroids=merged.model.centroids,
             weights=merged.model.weights,
             mse=final_mse,
@@ -262,6 +313,9 @@ class MergeKMeansSink(Sink):
                 "partial_iterations": [m.partial_iterations for m in messages],
             },
         )
+        self._models[cell_id] = model
+        if self._journal is not None:
+            self._journal.append_cell(cell_id, model)
 
 
 def build_partial_merge_graph(

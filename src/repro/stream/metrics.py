@@ -14,7 +14,13 @@ from dataclasses import dataclass, field
 
 from repro.stream.queues import QueueStats
 
-__all__ = ["OperatorMetrics", "ExecutionMetrics", "stopwatch"]
+__all__ = [
+    "OperatorMetrics",
+    "ExecutionMetrics",
+    "StallEvent",
+    "CheckpointStats",
+    "stopwatch",
+]
 
 
 @dataclass
@@ -35,6 +41,8 @@ class OperatorMetrics:
         lost_items: human-readable labels of the dropped items (for
             :class:`~repro.stream.items.DataChunk` this is
             ``"cell/Ppartition"``), in drop order.
+        quarantined_files: ``"filename: reason"`` per input file a source
+            moved aside under the ``quarantine`` corruption policy.
     """
 
     name: str
@@ -47,6 +55,7 @@ class OperatorMetrics:
     restarts: int = 0
     degraded_items: int = 0
     lost_items: list[str] = field(default_factory=list)
+    quarantined_files: list[str] = field(default_factory=list)
 
     @property
     def wall_seconds(self) -> float:
@@ -69,6 +78,53 @@ class OperatorMetrics:
         return min(1.0, self.busy_seconds / wall)
 
 
+@dataclass(frozen=True)
+class StallEvent:
+    """One watchdog firing: the plan made no queue progress past deadline.
+
+    Attributes:
+        waited_seconds: how long progress counters were flat before the
+            watchdog fired.
+        suspects: physical operator names that were alive and mid-item
+            (not blocked on a queue) when the stall was diagnosed.
+        policies: supervision policy mode per suspect's logical operator
+            (what the stall escalated into).
+        queue_depths: buffered items per queue at diagnosis time.
+        thread_stacks: formatted Python stack per stream worker thread.
+    """
+
+    waited_seconds: float
+    suspects: tuple[str, ...]
+    policies: dict[str, str]
+    queue_depths: dict[str, int]
+    thread_stacks: dict[str, str]
+
+
+@dataclass
+class CheckpointStats:
+    """Journal/recovery accounting for one checkpointed execution.
+
+    Attributes:
+        journal_path: the run journal file.
+        partitions_replayed: partition summaries restored from the
+            journal instead of being recomputed.
+        partitions_recomputed: partition summaries computed (and
+            journaled) by this execution.
+        cells_replayed: cell models adopted directly from the journal.
+        journal_bytes: journal size after the run.
+        recovery_seconds: time spent loading + validating the journal.
+        resumed: whether this execution resumed an earlier journal.
+    """
+
+    journal_path: str = ""
+    partitions_replayed: int = 0
+    partitions_recomputed: int = 0
+    cells_replayed: int = 0
+    journal_bytes: int = 0
+    recovery_seconds: float = 0.0
+    resumed: bool = False
+
+
 @dataclass
 class ExecutionMetrics:
     """Aggregated metrics of one plan execution.
@@ -80,12 +136,17 @@ class ExecutionMetrics:
         injected_faults: faults the attached
             :class:`~repro.stream.faults.FaultPlan` injected during the
             run (0 when no fault plan was attached).
+        stalls: watchdog stall diagnoses recorded during the run.
+        checkpoint: journal/recovery accounting (``None`` when the run
+            was not checkpointed).
     """
 
     wall_seconds: float = 0.0
     operators: list[OperatorMetrics] = field(default_factory=list)
     queues: dict[str, QueueStats] = field(default_factory=dict)
     injected_faults: int = 0
+    stalls: list[StallEvent] = field(default_factory=list)
+    checkpoint: CheckpointStats | None = None
 
     @property
     def total_retries(self) -> int:
@@ -109,6 +170,19 @@ class ExecutionMetrics:
         for op in self.operators:
             lost.extend(op.lost_items)
         return sorted(lost)
+
+    @property
+    def quarantined_files(self) -> list[str]:
+        """Input files quarantined by sources, sorted."""
+        quarantined: list[str] = []
+        for op in self.operators:
+            quarantined.extend(op.quarantined_files)
+        return sorted(quarantined)
+
+    @property
+    def total_quarantined(self) -> int:
+        """Input files quarantined across all sources."""
+        return sum(len(op.quarantined_files) for op in self.operators)
 
     def busy_seconds_for(self, logical_name: str) -> float:
         """Total busy time across all clones of a logical operator."""
@@ -138,6 +212,25 @@ class ExecutionMetrics:
                 f"restarts={self.total_restarts} "
                 f"degraded={self.total_degraded} "
                 f"injected_faults={self.injected_faults}"
+            )
+        if self.total_quarantined:
+            lines.append(
+                f"  quarantined: {self.total_quarantined} file(s): "
+                + ", ".join(self.quarantined_files)
+            )
+        for stall in self.stalls:
+            lines.append(
+                f"  stall: no progress for {stall.waited_seconds:.1f}s; "
+                f"suspects={', '.join(stall.suspects) or 'unknown'}"
+            )
+        if self.checkpoint is not None:
+            cp = self.checkpoint
+            lines.append(
+                f"  checkpoint: replayed={cp.partitions_replayed} "
+                f"recomputed={cp.partitions_recomputed} "
+                f"cells_replayed={cp.cells_replayed} "
+                f"journal={cp.journal_bytes}B "
+                f"recovery={cp.recovery_seconds:.3f}s"
             )
         return lines
 

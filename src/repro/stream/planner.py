@@ -57,6 +57,9 @@ class PhysicalPlan:
         supervision: per-logical-operator supervision policies copied off
             the graph (the executor consults these first).
         fault_plan: chaos engine attached at plan time, if any.
+        stall_timeout: watchdog deadline in seconds; when set, the
+            executor monitors queue progress and diagnoses hung operators
+            (``None`` disables the watchdog).
     """
 
     operators: list[PhysicalOperator] = field(default_factory=list)
@@ -64,6 +67,7 @@ class PhysicalPlan:
     clone_counts: dict[str, int] = field(default_factory=dict)
     supervision: dict[str, SupervisionPolicy] = field(default_factory=dict)
     fault_plan: FaultPlan | None = None
+    stall_timeout: float | None = None
 
     def describe(self) -> str:
         """One-line-per-operator plan description (for CLI/examples)."""
@@ -89,6 +93,7 @@ class Planner:
         graph: DataflowGraph,
         clone_overrides: dict[str, int] | None = None,
         fault_plan: FaultPlan | None = None,
+        stall_timeout: float | None = None,
     ) -> PhysicalPlan:
         """Compile ``graph`` into a :class:`PhysicalPlan`.
 
@@ -99,11 +104,15 @@ class Planner:
                 values are clamped to 1 for non-parallelizable operators.
             fault_plan: optional chaos engine; every physical instance a
                 spec targets is wrapped transparently (testing only).
+            stall_timeout: arm the executor's hung-operator watchdog with
+                this deadline in seconds (``None`` leaves it off).
 
         Returns:
             A wired physical plan.
         """
         graph.validate()
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ValueError(f"stall_timeout must be positive, got {stall_timeout}")
         overrides = dict(clone_overrides or {})
         clone_counts = self._decide_clones(graph, overrides)
 
@@ -111,6 +120,7 @@ class Planner:
             clone_counts=clone_counts,
             supervision=graph.supervision_policies(),
             fault_plan=fault_plan,
+            stall_timeout=stall_timeout,
         )
         # One input queue per consuming logical operator.
         for name in graph.names():

@@ -26,22 +26,32 @@ the EXPLAIN facility every query engine owes its users.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Mapping
+from pathlib import Path
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
 from repro.core.kmeans import DEFAULT_MAX_ITER
+from repro.stream.checkpoint import (
+    CheckpointError,
+    JournalState,
+    JournalWriter,
+    RecoveryManager,
+    bucket_inventory,
+)
 from repro.stream.executor import ExecutionResult, Executor
 from repro.stream.faults import FaultPlan
-from repro.stream.file_source import BucketFileSource
+from repro.stream.file_source import FAIL, BucketFileSource
 from repro.stream.graph import DataflowGraph
 from repro.stream.kmeans_ops import (
     GridCellChunkSource,
     MergeKMeansSink,
     PartialKMeansOperator,
 )
+from repro.stream.metrics import CheckpointStats, ExecutionMetrics
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
 from repro.stream.supervision import RetryPolicy, SupervisionPolicy, Supervisor
@@ -81,6 +91,12 @@ class _QueryState:
     seed: int | None = None
     supervision: dict[str, SupervisionPolicy] = field(default_factory=dict)
     retry_policy: RetryPolicy | None = None
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    checkpoint_fsync: bool = True
+    on_corrupt: str = FAIL
+    quarantine_dir: str | None = None
+    stall_timeout: float | None = None
 
 
 class Query:
@@ -205,6 +221,61 @@ class Query:
             self._state.retry_policy = retry_policy
         return self
 
+    def checkpoint(
+        self, run_dir: str | Path, resume: bool = False, fsync: bool = True
+    ) -> "Query":
+        """Journal the run into ``run_dir`` so a killed run can resume.
+
+        Every completed partition summary and finalised cell model is
+        appended (fsync'd, CRC-framed) to ``run_dir/journal.rjl``.  With
+        ``resume=True`` an existing journal is validated against the
+        current inputs and configuration, its completed work is replayed,
+        and only unfinished partitions are recomputed — the final models
+        are bit-identical to an uninterrupted run.
+
+        Args:
+            run_dir: checkpoint directory (created on demand).
+            resume: continue an existing journal instead of refusing it.
+            fsync: fsync every record (tests may turn this off for speed).
+        """
+        self._state.checkpoint_dir = str(run_dir)
+        self._state.resume = resume
+        self._state.checkpoint_fsync = fsync
+        return self
+
+    def on_corrupt(
+        self, policy: str, quarantine_dir: str | Path | None = None
+    ) -> "Query":
+        """Set the corrupted-bucket policy for the bucket scan.
+
+        Args:
+            policy: ``"fail"`` (default behaviour) aborts the plan on the
+                first corrupted bucket; ``"quarantine"`` moves the file
+                into a ``quarantine/`` subdirectory, records the loss in
+                the execution metrics and keeps scanning.
+            quarantine_dir: where quarantined files go (default:
+                ``<buckets>/quarantine``).
+        """
+        self._state.on_corrupt = policy
+        if quarantine_dir is not None:
+            self._state.quarantine_dir = str(quarantine_dir)
+        return self
+
+    def with_watchdog(self, stall_timeout: float) -> "Query":
+        """Arm the executor's hung-operator watchdog.
+
+        When no queue or operator makes progress for ``stall_timeout``
+        seconds the run fails with
+        :class:`~repro.stream.errors.OperatorStalled` and a stall
+        diagnosis (thread stacks, queue depths) lands in the metrics.
+        """
+        if stall_timeout <= 0:
+            raise QueryError(
+                f"stall_timeout must be positive, got {stall_timeout}"
+            )
+        self._state.stall_timeout = stall_timeout
+        return self
+
     # -- compilation ------------------------------------------------------------
 
     def _validate(self) -> None:
@@ -225,7 +296,12 @@ class Query:
             else ResourceManager()
         )
 
-    def _build_graph(self) -> DataflowGraph:
+    def _build_graph(
+        self,
+        journal: JournalWriter | None = None,
+        skip_cells: Iterable[str] = (),
+        skip_partitions: Iterable[tuple[str, int]] = (),
+    ) -> DataflowGraph:
         self._validate()
         state = self._state
         resources = self._resources()
@@ -248,6 +324,10 @@ class Query:
                 state.source_args["directory"],
                 resources=resources if state.by_memory else None,
                 n_chunks=state.n_chunks,
+                on_corrupt=state.on_corrupt,
+                quarantine_dir=state.quarantine_dir,
+                skip_cells=skip_cells,
+                skip_partitions=skip_partitions,
                 name="scan",
             )
             evaluate_on = None
@@ -268,6 +348,7 @@ class Query:
             criterion=merge["criterion"],
             max_iter=merge["max_iter"],
             evaluate_on=evaluate_on,
+            journal=journal,
         )
         graph.add(source, cost_hint=1.0)
         graph.add(partial, cost_hint=16.0)
@@ -319,15 +400,160 @@ class Query:
         Returns:
             A :class:`QueryResult` with per-cell models and metrics.
         """
+        self._validate()
+        if self._state.checkpoint_dir is not None:
+            return self._checkpointed_execute(fault_plan)
         graph = self._build_graph()
+        outcome = self._run_plan(graph, fault_plan)
+        return QueryResult(models=outcome.value, execution=outcome)
+
+    def _run_plan(
+        self, graph: DataflowGraph, fault_plan: FaultPlan | None
+    ) -> ExecutionResult:
         overrides = (
             {"partial": self._state.partial_clones}
             if self._state.partial_clones
             else None
         )
         plan = Planner(self._resources()).plan(
-            graph, clone_overrides=overrides, fault_plan=fault_plan
+            graph,
+            clone_overrides=overrides,
+            fault_plan=fault_plan,
+            stall_timeout=self._state.stall_timeout,
         )
         supervisor = Supervisor(retry_policy=self._state.retry_policy)
-        outcome = Executor(supervisor=supervisor).run(plan)
+        return Executor(supervisor=supervisor).run(plan)
+
+    def _manifest(self) -> dict[str, Any]:
+        """JSON-safe description of the run's inputs and configuration.
+
+        Corrupt bucket files are left out of the inventory: under the
+        quarantine policy they are moved aside mid-run, so a resume must
+        see the same inventory an uninterrupted run would have processed.
+        The directory path itself is also omitted — the inventory
+        identifies the inputs by content, not location.
+        """
+        state = self._state
+        cluster = dict(state.cluster_args or {})
+        merge = dict(state.merge_args or {})
+        directory = Path(state.source_args["directory"])
+        paths = (
+            [directory] if directory.is_file() else sorted(directory.glob("*.gbk"))
+        )
+        inventory = [
+            entry for entry in bucket_inventory(paths) if "error" not in entry
+        ]
+        resources = self._resources()
+        return {
+            "source": "buckets",
+            "inventory": inventory,
+            "n_chunks": state.n_chunks,
+            "by_memory": state.by_memory,
+            "memory_budget": (
+                resources.memory_budget_bytes if state.by_memory else None
+            ),
+            "k": cluster.get("k"),
+            "restarts": cluster.get("restarts"),
+            "seeding": cluster.get("seeding"),
+            "max_iter": cluster.get("max_iter"),
+            "criterion": repr(cluster.get("criterion")),
+            "merge_k": merge.get("k") or cluster.get("k"),
+            "merge_max_iter": merge.get("max_iter", cluster.get("max_iter")),
+            "merge_criterion": repr(merge.get("criterion")),
+            "seed": state.seed,
+        }
+
+    def _checkpointed_execute(
+        self, fault_plan: FaultPlan | None
+    ) -> QueryResult:
+        state = self._state
+        if state.source_kind != "buckets":
+            raise QueryError("checkpoint() requires a scan_buckets source")
+        recovery = RecoveryManager(state.checkpoint_dir)
+        started = time.perf_counter()
+        journal_state: JournalState | None = None
+        if recovery.journal_exists():
+            if not state.resume:
+                raise CheckpointError(
+                    f"{recovery.journal_path} already exists; pass "
+                    "checkpoint(..., resume=True) to continue it or use a "
+                    "fresh run directory"
+                )
+            journal_state = recovery.load()
+        resumed = journal_state is not None
+        if resumed and state.seed is None:
+            recorded = (journal_state.manifest or {}).get("seed")
+            if recorded is not None:
+                state.seed = int(recorded)
+        if state.seed is None:
+            # A journaled run must be reproducible: without a fixed seed
+            # the recomputed partitions could never match the journaled
+            # ones, so pick one now and record it in the manifest.
+            state.seed = int(np.random.SeedSequence().entropy)
+        manifest = self._manifest()
+        if resumed:
+            RecoveryManager.validate_manifest(journal_state.manifest, manifest)
+        recovery_seconds = time.perf_counter() - started
+
+        if resumed and journal_state.complete:
+            # Nothing to do: the journaled run finished.  Hand back its
+            # models without touching a single bucket.
+            metrics = ExecutionMetrics()
+            metrics.checkpoint = CheckpointStats(
+                journal_path=str(recovery.journal_path),
+                partitions_replayed=sum(
+                    len(parts) for parts in journal_state.partitions.values()
+                ),
+                cells_replayed=len(journal_state.cells),
+                journal_bytes=recovery.journal_path.stat().st_size,
+                recovery_seconds=recovery_seconds,
+                resumed=True,
+            )
+            models = dict(journal_state.cells)
+            return QueryResult(
+                models=models,
+                execution=ExecutionResult(value=models, metrics=metrics),
+            )
+
+        skip_cells: set[str] = set()
+        skip_partitions: set[tuple[str, int]] = set()
+        replay_messages: list[Any] = []
+        if resumed:
+            skip_cells = journal_state.completed_cells()
+            replay_messages = journal_state.replayable_messages()
+            skip_partitions = {
+                (cell, partition)
+                for cell, by_partition in journal_state.partitions.items()
+                if cell not in skip_cells
+                for partition in by_partition
+            }
+
+        writer = recovery.open_writer(fsync=state.checkpoint_fsync)
+        try:
+            if not resumed:
+                writer.append_manifest(manifest)
+            graph = self._build_graph(
+                journal=writer,
+                skip_cells=skip_cells,
+                skip_partitions=skip_partitions,
+            )
+            sink = graph.operator("merge")
+            assert isinstance(sink, MergeKMeansSink)
+            if resumed:
+                for cell_id, model in journal_state.cells.items():
+                    sink.preload_model(cell_id, model)
+                sink.preload(replay_messages)
+            outcome = self._run_plan(graph, fault_plan)
+            writer.append_complete()
+            outcome.metrics.checkpoint = CheckpointStats(
+                journal_path=str(recovery.journal_path),
+                partitions_replayed=len(replay_messages),
+                partitions_recomputed=writer.partition_records,
+                cells_replayed=len(journal_state.cells) if resumed else 0,
+                journal_bytes=writer.bytes_written(),
+                recovery_seconds=recovery_seconds,
+                resumed=resumed,
+            )
+        finally:
+            writer.close()
         return QueryResult(models=outcome.value, execution=outcome)

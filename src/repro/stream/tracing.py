@@ -22,7 +22,7 @@ __all__ = ["metrics_to_dict", "dump_metrics_json", "render_gantt"]
 
 def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
     """Convert execution metrics to a JSON-safe dictionary."""
-    return {
+    payload = {
         "wall_seconds": metrics.wall_seconds,
         "operators": [
             {
@@ -36,6 +36,7 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
                 "restarts": op.restarts,
                 "degraded_items": op.degraded_items,
                 "lost_items": list(op.lost_items),
+                "quarantined_files": list(op.quarantined_files),
             }
             for op in metrics.operators
         ],
@@ -45,6 +46,7 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
             "total_degraded": metrics.total_degraded,
             "lost_partitions": metrics.lost_partitions,
             "injected_faults": metrics.injected_faults,
+            "quarantined_files": metrics.quarantined_files,
         },
         "queues": {
             name: {
@@ -56,7 +58,29 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
             }
             for name, stats in metrics.queues.items()
         },
+        "stalls": [
+            {
+                "waited_seconds": stall.waited_seconds,
+                "suspects": list(stall.suspects),
+                "policies": dict(stall.policies),
+                "queue_depths": dict(stall.queue_depths),
+                "thread_stacks": dict(stall.thread_stacks),
+            }
+            for stall in metrics.stalls
+        ],
     }
+    if metrics.checkpoint is not None:
+        cp = metrics.checkpoint
+        payload["checkpoint"] = {
+            "journal_path": cp.journal_path,
+            "partitions_replayed": cp.partitions_replayed,
+            "partitions_recomputed": cp.partitions_recomputed,
+            "cells_replayed": cp.cells_replayed,
+            "journal_bytes": cp.journal_bytes,
+            "recovery_seconds": cp.recovery_seconds,
+            "resumed": cp.resumed,
+        }
+    return payload
 
 
 def dump_metrics_json(metrics: ExecutionMetrics, path: str | Path) -> Path:

@@ -258,3 +258,97 @@ class TestNewCommands:
             == 0
         )
         assert "Noise study" in capsys.readouterr().out
+
+
+class TestErrorHandling:
+    def test_corrupt_bucket_exits_2_with_one_line_error(
+        self, tmp_path, capsys
+    ):
+        bad = tmp_path / "bad.gbk"
+        bad.write_bytes(b"this is not a bucket file at all")
+        assert main(["cluster", str(bad), "--k", "4"]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.startswith("error:")
+        assert len(captured.err.strip().splitlines()) == 1
+        assert "Traceback" not in captured.err
+
+    def test_missing_bucket_exits_2(self, tmp_path, capsys):
+        assert main(["cluster", str(tmp_path / "nope.gbk")]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_query_over_corrupt_dir_exits_2(self, tmp_path, capsys):
+        (tmp_path / "bad.gbk").write_bytes(b"garbage")
+        assert (
+            main(["query", str(tmp_path), "--k", "4", "--chunks", "2"]) == 2
+        )
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestCheckpointCli:
+    def _generate(self, tmp_path, capsys):
+        out = tmp_path / "buckets"
+        main(
+            [
+                "generate",
+                "--out", str(out),
+                "--cells", "2",
+                "--points", "300",
+            ]
+        )
+        capsys.readouterr()
+        return out
+
+    def test_query_checkpoint_and_resume(self, tmp_path, capsys):
+        buckets = self._generate(tmp_path, capsys)
+        run_dir = tmp_path / "run"
+        base = [
+            "query", str(buckets),
+            "--k", "4", "--chunks", "2", "--restarts", "1",
+            "--seed", "0", "--checkpoint-dir", str(run_dir),
+        ]
+        assert main(base) == 0
+        out = capsys.readouterr().out
+        assert "checkpoint:" in out
+        assert (run_dir / "journal.rjl").exists()
+
+        # Re-running without --resume refuses the existing journal.
+        assert main(base) == 2
+        assert "already exists" in capsys.readouterr().err
+
+        assert main(base + ["--resume"]) == 0
+        assert "checkpoint:" in capsys.readouterr().out
+
+    def test_cluster_checkpoint_flag(self, tmp_path, capsys):
+        buckets = self._generate(tmp_path, capsys)
+        bucket = sorted(buckets.glob("*.gbk"))[0]
+        run_dir = tmp_path / "run"
+        assert (
+            main(
+                [
+                    "cluster", str(bucket),
+                    "--k", "4", "--chunks", "2", "--restarts", "1",
+                    "--checkpoint-dir", str(run_dir),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "journal:" in out
+        assert (run_dir / "journal.rjl").exists()
+
+    def test_query_quarantine_flag(self, tmp_path, capsys):
+        buckets = self._generate(tmp_path, capsys)
+        (buckets / "bad.gbk").write_bytes(b"garbage")
+        assert (
+            main(
+                [
+                    "query", str(buckets),
+                    "--k", "4", "--chunks", "2", "--restarts", "1",
+                    "--seed", "0", "--on-corrupt", "quarantine",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "quarantined: 1 file(s)" in out
+        assert (buckets / "quarantine" / "bad.gbk").exists()

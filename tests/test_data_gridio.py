@@ -114,6 +114,22 @@ class TestCorruptionDetection:
         with pytest.raises(GridBucketFormatError, match="empty bucket"):
             read_bucket_header(path)
 
+    def test_truncation_detected_at_header_read(self, tmp_path, cell):
+        """Header-time size validation: the planner never schedules work
+        against a bucket whose payload cannot match its header."""
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-16])
+        with pytest.raises(GridBucketFormatError, match="truncated payload"):
+            read_bucket_header(path)
+
+    def test_trailing_garbage_detected_at_header_read(self, tmp_path, cell):
+        path = write_bucket_file(tmp_path / "cell.gbk", cell)
+        with open(path, "ab") as handle:
+            handle.write(b"extra bytes after the declared payload")
+        with pytest.raises(GridBucketFormatError, match="trailing garbage"):
+            read_bucket_header(path)
+
 
 class TestDirectoryScan:
     def test_write_and_scan_dir(self, tmp_path, rng):

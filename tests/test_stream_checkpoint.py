@@ -1,0 +1,255 @@
+"""Tests for the durable run journal (writer, reader, recovery)."""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.model import ClusterModel, WeightedCentroidSet
+from repro.data.generator import generate_cell_points
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import write_bucket_dir
+from repro.stream.checkpoint import (
+    JOURNAL_FILENAME,
+    JournalFormatError,
+    JournalWriter,
+    ManifestMismatchError,
+    RecoveryManager,
+    bucket_inventory,
+    read_journal,
+)
+from repro.stream.items import CentroidMessage
+
+
+def make_message(cell="lat10lon20", partition=0, n_partitions=3, seed=0):
+    rng = np.random.default_rng(seed)
+    return CentroidMessage(
+        cell_id=cell,
+        partition=partition,
+        summary=WeightedCentroidSet(
+            centroids=rng.normal(size=(4, 6)),
+            weights=rng.uniform(1.0, 9.0, size=4),
+            source=f"{cell}/P{partition}",
+        ),
+        n_partitions=n_partitions,
+        partial_seconds=0.25,
+        partial_iterations=7,
+    )
+
+
+def make_model(seed=1):
+    rng = np.random.default_rng(seed)
+    return ClusterModel(
+        centroids=rng.normal(size=(4, 6)),
+        weights=rng.uniform(1.0, 9.0, size=4),
+        mse=12.5,
+        method="partial/merge[stream]",
+        partitions=3,
+        extra={"merge_iterations": 4},
+    )
+
+
+class TestJournalRoundTrip:
+    def test_records_survive_bit_exact(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        message = make_message()
+        model = make_model()
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_manifest({"k": 8, "seed": 42})
+            writer.append_partition(message)
+            writer.append_cell("lat10lon20", model)
+            writer.append_complete()
+
+        state = read_journal(path)
+        assert state.manifest == {"k": 8, "seed": 42}
+        assert state.complete
+        assert not state.torn
+        assert state.records == 4
+        replayed = state.partitions["lat10lon20"][0]
+        np.testing.assert_array_equal(
+            replayed.summary.centroids, message.summary.centroids
+        )
+        np.testing.assert_array_equal(
+            replayed.summary.weights, message.summary.weights
+        )
+        assert replayed.n_partitions == 3
+        assert replayed.partial_iterations == 7
+        cell = state.cells["lat10lon20"]
+        np.testing.assert_array_equal(cell.centroids, model.centroids)
+        np.testing.assert_array_equal(cell.weights, model.weights)
+        assert cell.mse == model.mse
+
+    def test_counters_and_bytes(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_partition(make_message(partition=0))
+            writer.append_partition(make_message(partition=1))
+            writer.append_cell("lat10lon20", make_model())
+            assert writer.partition_records == 2
+            assert writer.cell_records == 1
+            assert writer.bytes_written() == path.stat().st_size
+
+    def test_unknown_record_kinds_skipped(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append({"kind": "from-the-future", "payload": 1})
+            writer.append_complete()
+        state = read_journal(path)
+        assert state.complete
+        assert state.records == 2
+
+
+class TestTornRecords:
+    def _journal_with_torn_tail(self, tmp_path, cut):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_manifest({"seed": 1})
+            writer.append_partition(make_message(partition=0))
+            intact = path.stat().st_size
+            writer.append_partition(make_message(partition=1))
+        torn = path.stat().st_size
+        # Simulate a crash mid-write: chop the final record.
+        with open(path, "r+b") as handle:
+            handle.truncate(intact + (torn - intact) // cut)
+        return path, intact
+
+    def test_reader_stops_at_last_complete_record(self, tmp_path):
+        path, intact = self._journal_with_torn_tail(tmp_path, cut=2)
+        state = read_journal(path)
+        assert state.torn
+        assert state.valid_bytes == intact
+        assert list(state.partitions["lat10lon20"]) == [0]
+
+    def test_corrupted_payload_detected_by_crc(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_manifest({"seed": 1})
+            intact = path.stat().st_size
+            writer.append_partition(make_message())
+        # Flip one payload byte of the final record.
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        state = read_journal(path)
+        assert state.torn
+        assert state.valid_bytes == intact
+        assert not state.partitions
+
+    def test_oversized_frame_treated_as_corruption(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_manifest({"seed": 1})
+        payload = json.dumps({"kind": "complete"}).encode()
+        with open(path, "ab") as handle:
+            handle.write(struct.pack("<II", 2**31, zlib.crc32(payload)))
+            handle.write(payload)
+        state = read_journal(path)
+        assert state.torn
+        assert not state.complete
+
+    def test_writer_reopen_truncates_torn_tail(self, tmp_path):
+        path, intact = self._journal_with_torn_tail(tmp_path, cut=2)
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_complete()
+        state = read_journal(path)
+        assert not state.torn
+        assert state.complete
+        assert list(state.partitions["lat10lon20"]) == [0]
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        path.write_bytes(b"GBK1\x01\x00\x00\x00")
+        with pytest.raises(JournalFormatError, match="magic"):
+            read_journal(path)
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        path.write_bytes(b"RJL1\x63\x00\x00\x00")
+        with pytest.raises(JournalFormatError, match="version"):
+            read_journal(path)
+
+    def test_truncated_header_rejected(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        path.write_bytes(b"RJ")
+        with pytest.raises(JournalFormatError, match="header"):
+            read_journal(path)
+
+
+class TestJournalState:
+    def test_completed_cells_from_partitions_alone(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            for partition in range(3):
+                writer.append_partition(
+                    make_message(partition=partition, n_partitions=3)
+                )
+            writer.append_partition(
+                make_message(cell="lat0lon0", partition=0, n_partitions=2)
+            )
+        state = read_journal(path)
+        assert state.completed_cells() == {"lat10lon20"}
+
+    def test_replayable_excludes_finalised_cells(self, tmp_path):
+        path = tmp_path / JOURNAL_FILENAME
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_partition(make_message(partition=1))
+            writer.append_partition(make_message(partition=0))
+            writer.append_partition(
+                make_message(cell="lat0lon0", partition=0)
+            )
+            writer.append_cell("lat0lon0", make_model())
+        state = read_journal(path)
+        messages = state.replayable_messages()
+        assert [m.cell_id for m in messages] == ["lat10lon20", "lat10lon20"]
+        # Sorted by partition regardless of journal order.
+        assert [m.partition for m in messages] == [0, 1]
+
+
+class TestManifestValidation:
+    def test_mismatch_names_every_differing_key(self):
+        with pytest.raises(ManifestMismatchError, match="k:.*seed:"):
+            RecoveryManager.validate_manifest(
+                {"k": 4, "seed": 1, "restarts": 2},
+                {"k": 8, "seed": 2, "restarts": 2},
+            )
+
+    def test_ignored_keys_are_exempt(self):
+        RecoveryManager.validate_manifest(
+            {"k": 4, "seed": 1}, {"k": 4, "seed": 2}, ignore=("seed",)
+        )
+
+    def test_missing_manifest_rejected(self):
+        with pytest.raises(ManifestMismatchError, match="no manifest"):
+            RecoveryManager.validate_manifest(None, {"k": 4})
+
+    def test_journal_exists(self, tmp_path):
+        recovery = RecoveryManager(tmp_path)
+        assert not recovery.journal_exists()
+        recovery.open_writer(fsync=False).close()
+        assert recovery.journal_exists()
+
+
+class TestBucketInventory:
+    def test_inventory_lists_headers(self, tmp_path):
+        cells = [
+            GridCell(GridCellId(10, 20), generate_cell_points(120, seed=1)),
+            GridCell(GridCellId(11, 21), generate_cell_points(80, seed=2)),
+        ]
+        paths = write_bucket_dir(tmp_path, cells)
+        inventory = bucket_inventory(paths)
+        assert [entry["cell"] for entry in inventory] == [
+            "lat10lon20",
+            "lat11lon21",
+        ]
+        assert [entry["n"] for entry in inventory] == [120, 80]
+
+    def test_corrupt_file_reported_with_error(self, tmp_path):
+        bad = tmp_path / "bad.gbk"
+        bad.write_bytes(b"not a bucket")
+        inventory = bucket_inventory([bad])
+        assert inventory[0]["name"] == "bad.gbk"
+        assert "error" in inventory[0]

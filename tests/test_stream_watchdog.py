@@ -1,0 +1,145 @@
+"""Tests for the executor's hung-operator watchdog."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.stream.errors import ExecutionError, OperatorStalled
+from repro.stream.executor import Executor
+from repro.stream.graph import DataflowGraph
+from repro.stream.operators import Sink, Source, Transform
+from repro.stream.planner import Planner
+
+
+class Numbers(Source):
+    def __init__(self, n=5, name="src"):
+        super().__init__(name)
+        self.n = n
+
+    def generate(self):
+        yield from range(self.n)
+
+
+class HangAt(Transform):
+    """Sleeps forever (well past any test timeout) on one item."""
+
+    def __init__(self, hang_on=2, name="hang"):
+        super().__init__(name)
+        self.hang_on = hang_on
+
+    def process(self, item):
+        if item == self.hang_on:
+            time.sleep(300.0)
+        yield item
+
+
+class Collect(Sink):
+    def __init__(self, name="collect"):
+        super().__init__(name)
+        self.items = []
+
+    def consume(self, item):
+        self.items.append(item)
+
+    def result(self):
+        return list(self.items)
+
+
+def build_plan(transform, stall_timeout):
+    graph = DataflowGraph()
+    graph.add(Numbers())
+    graph.add(transform)
+    graph.add(Collect())
+    graph.connect("src", transform.name)
+    graph.connect(transform.name, "collect")
+    return Planner().plan(graph, stall_timeout=stall_timeout)
+
+
+class TestWatchdog:
+    def test_hung_operator_fails_the_plan(self):
+        plan = build_plan(HangAt(), stall_timeout=0.4)
+        started = time.monotonic()
+        with pytest.raises(ExecutionError) as excinfo:
+            Executor().run(plan)
+        elapsed = time.monotonic() - started
+        # Watchdog deadline + grace, not the 300s sleep.
+        assert elapsed < 30.0
+        causes = [f.__cause__ for f in excinfo.value.failures]
+        assert any(isinstance(cause, OperatorStalled) for cause in causes)
+        stalled = next(
+            c for c in causes if isinstance(c, OperatorStalled)
+        )
+        assert stalled.operator_name == "hang"
+        assert stalled.stall_seconds >= 0.4
+
+    def test_stall_diagnosis_on_the_exception(self):
+        """The failed run's metrics (with the diagnosis) ride the error."""
+        plan = build_plan(HangAt(), stall_timeout=0.4)
+        with pytest.raises(ExecutionError) as excinfo:
+            Executor().run(plan)
+        metrics = excinfo.value.metrics
+        assert metrics is not None
+        assert len(metrics.stalls) == 1
+        event = metrics.stalls[0]
+        assert event.waited_seconds >= 0.4
+        assert "hang" in event.suspects
+        assert "hang" in event.policies
+        assert event.queue_depths  # depths captured for every queue
+        assert any(
+            "sleep" in stack for stack in event.thread_stacks.values()
+        )
+
+    def test_stall_summary_and_trace_export(self):
+        from repro.stream.tracing import metrics_to_dict
+
+        plan = build_plan(HangAt(), stall_timeout=0.4)
+        with pytest.raises(ExecutionError) as excinfo:
+            Executor().run(plan)
+        metrics = excinfo.value.metrics
+        assert any("stall" in line for line in metrics.summary_lines())
+        payload = metrics_to_dict(metrics)
+        assert payload["stalls"][0]["suspects"] == ["hang"]
+
+    def test_healthy_pipeline_passes_with_watchdog_armed(self):
+        class Passthrough(Transform):
+            def process(self, item):
+                yield item
+
+        graph = DataflowGraph()
+        graph.add(Numbers())
+        graph.add(Passthrough("pass"))
+        graph.add(Collect())
+        graph.connect("src", "pass")
+        graph.connect("pass", "collect")
+        plan = Planner().plan(graph, stall_timeout=5.0)
+        outcome = Executor().run(plan)
+        assert outcome.value == [0, 1, 2, 3, 4]
+        assert outcome.metrics.stalls == []
+
+    def test_watchdog_off_by_default(self):
+        class Passthrough(Transform):
+            def process(self, item):
+                yield item
+
+        graph = DataflowGraph()
+        graph.add(Numbers())
+        graph.add(Passthrough("pass"))
+        graph.add(Collect())
+        graph.connect("src", "pass")
+        graph.connect("pass", "collect")
+        plan = Planner().plan(graph)
+        assert plan.stall_timeout is None
+        outcome = Executor().run(plan)
+        assert outcome.metrics.stalls == []
+
+    def test_invalid_stall_timeout_rejected(self):
+        graph = DataflowGraph()
+        graph.add(Numbers())
+        graph.add(Collect())
+        graph.connect("src", "collect")
+        with pytest.raises(ValueError, match="stall_timeout"):
+            Planner().plan(graph, stall_timeout=0.0)
+        with pytest.raises(ValueError, match="stall_timeout"):
+            Executor(stall_timeout=-1.0)
