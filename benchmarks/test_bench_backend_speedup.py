@@ -1,0 +1,119 @@
+"""Benchmark: thread backend vs process backend for the partial stage.
+
+The process backend exists because thread clones only parallelise as far
+as numpy releases the GIL; worker processes sidestep the GIL entirely at
+the cost of shared-memory transfers and per-worker spawn time.  This
+benchmark runs the same fixed-seed pipeline on both backends, checks the
+results are bit-identical, and records the wall-time comparison in
+``BENCH_backend.json`` at the repository root.
+
+Note (same caveat as ``test_bench_speedup``): wall-clock speed-up needs
+spare CPU cores.  On a single-core host the run still validates the
+worker/shared-memory machinery and records honest flat timings; the
+speed-up assertion only arms on hosts with >= 4 cores.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.data.generator import generate_cell_points
+from repro.stream.kmeans_ops import run_partial_merge_stream
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(backend: str, cells, clones: int):
+    return run_partial_merge_stream(
+        cells,
+        k=40,
+        restarts=2,
+        n_chunks=8,
+        seed=7,
+        max_iter=60,
+        partial_clones=clones,
+        backend=backend,
+    )
+
+
+def test_bench_backend_speedup(benchmark):
+    """Threads vs processes: identical bits, wall times to the ledger."""
+    host_cpus = os.cpu_count() or 1
+    clones = min(4, max(2, host_cpus))
+    cells = {"cell": generate_cell_points(10_000, seed=7)}
+
+    thread_models, thread_outcome = _run("threads", cells, clones)
+    process_models, process_outcome = benchmark.pedantic(
+        lambda: _run("processes", cells, clones), rounds=1, iterations=1
+    )
+
+    # The backends must not disagree on a single output bit.
+    assert set(thread_models) == set(process_models)
+    for cell in thread_models:
+        assert (
+            thread_models[cell].centroids.tobytes()
+            == process_models[cell].centroids.tobytes()
+        )
+        assert (
+            thread_models[cell].weights.tobytes()
+            == process_models[cell].weights.tobytes()
+        )
+
+    thread_wall = thread_outcome.metrics.wall_seconds
+    process_wall = process_outcome.metrics.wall_seconds
+    speedup = thread_wall / process_wall if process_wall > 0 else float("inf")
+
+    payload = {
+        "host_cpus": host_cpus,
+        "clones": clones,
+        "n_points": 10_000,
+        "k": 40,
+        "n_chunks": 8,
+        "threads": {
+            "wall_seconds": thread_wall,
+            "partial_busy_seconds": thread_outcome.metrics.busy_seconds_for(
+                "partial"
+            ),
+        },
+        "processes": {
+            "wall_seconds": process_wall,
+            "partial_busy_seconds": process_outcome.metrics.busy_seconds_for(
+                "partial"
+            ),
+            "worker_busy_seconds": process_outcome.metrics.worker_busy_seconds,
+            "shm_megabytes": process_outcome.metrics.shm_bytes / 1e6,
+            "workers": [
+                {
+                    "name": worker.name,
+                    "items": worker.items,
+                    "busy_seconds": worker.busy_seconds,
+                    "spawn_seconds": worker.spawn_seconds,
+                }
+                for worker in process_outcome.metrics.workers
+            ],
+        },
+        "speedup_processes_over_threads": speedup,
+        "bit_identical": True,
+    }
+    (_REPO_ROOT / "BENCH_backend.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    print()
+    print(
+        f"backend comparison ({clones} clones, {host_cpus} host cpus): "
+        f"threads {thread_wall:.3f}s vs processes {process_wall:.3f}s "
+        f"({speedup:.2f}x)"
+    )
+
+    metrics = process_outcome.metrics
+    assert metrics.backend == "processes"
+    assert len(metrics.workers) == clones
+    assert metrics.shm_bytes > 0
+    assert metrics.worker_busy_seconds > 0
+
+    if host_cpus >= 4:
+        # With real cores the GIL-free workers must clearly win.
+        assert speedup > 1.5

@@ -86,6 +86,7 @@ def _cmd_speedup(args: argparse.Namespace) -> int:
         k=args.k,
         n_chunks=args.chunks,
         clone_counts=tuple(args.clones),
+        backend=args.backend,
     )
     print(render_speedup(points))
     return 0
@@ -218,6 +219,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     query = query.cluster(k=args.k, restarts=args.restarts).merge()
     if args.clones:
         query = query.with_partial_clones(args.clones)
+    if args.backend != "threads" or args.workers:
+        query = query.with_backend(
+            args.backend, workers=args.workers or None
+        )
     if args.seed is not None:
         query = query.with_seed(args.seed)
     if args.on_corrupt != "fail":
@@ -347,6 +352,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_speedup.add_argument("--k", type=int, default=40)
     p_speedup.add_argument("--chunks", type=int, default=10)
     p_speedup.add_argument("--clones", type=int, nargs="+", default=[1, 2, 4])
+    p_speedup.add_argument(
+        "--backend",
+        choices=["threads", "processes"],
+        default=None,
+        help="clone execution backend (default: engine default)",
+    )
     p_speedup.set_defaults(fn=_cmd_speedup)
 
     p_generate = sub.add_parser("generate", help="write synthetic bucket files")
@@ -399,6 +410,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("--restarts", type=int, default=10)
     p_query.add_argument("--clones", type=int, default=0)
+    p_query.add_argument(
+        "--backend",
+        choices=["threads", "processes"],
+        default="threads",
+        help="run partial-k-means clones on threads (default) or in "
+        "worker processes fed over shared memory",
+    )
+    p_query.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes for --backend processes (0 lets the "
+        "planner decide; equivalent to --clones)",
+    )
     p_query.add_argument("--seed", type=int, default=None)
     p_query.add_argument("--explain-only", action="store_true")
     p_query.add_argument(
@@ -491,11 +516,12 @@ def main(argv: list[str] | None = None) -> int:
     """
     from repro.data.gridio import GridBucketFormatError
     from repro.stream.errors import StreamError
+    from repro.stream.query import QueryError
 
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (GridBucketFormatError, StreamError, OSError) as exc:
+    except (GridBucketFormatError, QueryError, StreamError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -195,10 +195,34 @@ class ClusterModel:
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        cents = np.ascontiguousarray(self.centroids, dtype=np.float64)
+        if cents.ndim == 2 and cents.shape[0] == 0:
+            # An empty model: a cell that contributed no points (the
+            # stream engine records such cells instead of dropping them).
+            # The non-empty validators below would reject it.
+            object.__setattr__(self, "centroids", cents)
+            object.__setattr__(self, "weights", np.zeros(0, dtype=np.float64))
+            return
         cents = as_points(self.centroids)
         wts = as_weights(self.weights, cents.shape[0])
         object.__setattr__(self, "centroids", cents)
         object.__setattr__(self, "weights", wts)
+
+    @staticmethod
+    def empty(
+        dim: int, method: str = "empty", extra: dict | None = None
+    ) -> "ClusterModel":
+        """A model with zero centroids, standing in for a zero-point cell."""
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        return ClusterModel(
+            centroids=np.zeros((0, dim), dtype=np.float64),
+            weights=np.zeros(0, dtype=np.float64),
+            mse=0.0,
+            method=method,
+            partitions=0,
+            extra=dict(extra or {}),
+        )
 
     @property
     def k(self) -> int:

@@ -46,13 +46,16 @@ def run_speedup_experiment(
     clone_counts: tuple[int, ...] = (1, 2, 4),
     seed: int = 7,
     max_iter: int = 100,
+    backend: str | None = None,
 ) -> list[SpeedupPoint]:
     """Measure pipeline wall time versus partial clone count.
 
     Note:
-        Clones are threads; numpy's C kernels release the GIL during the
-        distance computations that dominate, so thread clones approximate
-        the paper's separate machines for the dominant cost.
+        By default clones are threads; numpy's C kernels release the GIL
+        during the distance computations that dominate, so thread clones
+        approximate the paper's separate machines for the dominant cost.
+        Pass ``backend="processes"`` to run each clone in its own worker
+        process instead (sidesteps the GIL entirely).
 
     Returns:
         One :class:`SpeedupPoint` per clone count, in the given order.
@@ -74,6 +77,7 @@ def run_speedup_experiment(
             partial_clones=clones,
             seed=seed,
             max_iter=max_iter,
+            backend=backend,
         )
         busy = outcome.metrics.busy_seconds_for("partial")
         timings.append((clones, outcome.metrics.wall_seconds, busy))

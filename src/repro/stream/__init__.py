@@ -42,7 +42,9 @@ from repro.stream.errors import (
     OperatorStalled,
     OperatorTimeout,
     QueueClosedError,
+    QueueTimeout,
     StreamError,
+    WorkerCrashed,
 )
 from repro.stream.executor import ExecutionResult, Executor
 from repro.stream.faults import FaultPlan, FaultSpec, InjectionEvent
@@ -53,6 +55,7 @@ from repro.stream.kmeans_ops import (
     GridCellChunkSource,
     MergeKMeansSink,
     PartialKMeansOperator,
+    PartialKMeansSpec,
     build_partial_merge_graph,
     run_partial_merge_stream,
 )
@@ -61,6 +64,16 @@ from repro.stream.metrics import (
     ExecutionMetrics,
     OperatorMetrics,
     StallEvent,
+    WorkerProcessStats,
+)
+from repro.stream.mp import (
+    PROCESSES,
+    THREADS,
+    OperatorSpec,
+    ProcessBackedTransform,
+    resolve_backend,
+    start_worker,
+    validate_backend,
 )
 from repro.stream.operators import FunctionTransform, Operator, Sink, Source, Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan, Planner
@@ -88,6 +101,8 @@ __all__ = [
     "StreamError",
     "GraphValidationError",
     "QueueClosedError",
+    "QueueTimeout",
+    "WorkerCrashed",
     "OperatorError",
     "ExecutionError",
     "InjectedFault",
@@ -117,12 +132,21 @@ __all__ = [
     "GridCellChunkSource",
     "MergeKMeansSink",
     "PartialKMeansOperator",
+    "PartialKMeansSpec",
     "build_partial_merge_graph",
     "run_partial_merge_stream",
     "ExecutionMetrics",
     "OperatorMetrics",
     "CheckpointStats",
     "StallEvent",
+    "WorkerProcessStats",
+    "PROCESSES",
+    "THREADS",
+    "OperatorSpec",
+    "ProcessBackedTransform",
+    "resolve_backend",
+    "start_worker",
+    "validate_backend",
     "FunctionTransform",
     "Operator",
     "Sink",

@@ -6,11 +6,13 @@ __all__ = [
     "StreamError",
     "GraphValidationError",
     "QueueClosedError",
+    "QueueTimeout",
     "OperatorError",
     "ExecutionError",
     "InjectedFault",
     "OperatorTimeout",
     "OperatorStalled",
+    "WorkerCrashed",
 ]
 
 
@@ -24,6 +26,33 @@ class GraphValidationError(StreamError):
 
 class QueueClosedError(StreamError):
     """A producer attempted to put into a queue whose consumers are gone."""
+
+
+class QueueTimeout(QueueClosedError):
+    """A queue ``put``/``get`` deadline expired while the caller was blocked.
+
+    Subclasses :class:`QueueClosedError` so existing handlers keep
+    working, but lets supervision code distinguish backpressure or
+    starvation timeouts (the queue is still healthy) from a plan abort
+    (the queue is poisoned).
+    """
+
+
+class WorkerCrashed(StreamError):
+    """A process-backend worker died or returned an untransferable error.
+
+    Raised on the parent side when the worker's pipe breaks mid-task
+    (the process was killed or segfaulted) or when the worker's operator
+    raised an exception that could not be pickled back; the remote
+    traceback text is preserved in the message.
+
+    Attributes:
+        worker_name: physical operator name the worker served.
+    """
+
+    def __init__(self, worker_name: str, message: str) -> None:
+        super().__init__(f"worker {worker_name!r}: {message}")
+        self.worker_name = worker_name
 
 
 class OperatorError(StreamError):

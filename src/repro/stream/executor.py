@@ -34,7 +34,7 @@ import sys
 import threading
 import time
 import traceback
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.stream.errors import (
@@ -48,6 +48,15 @@ from repro.stream.metrics import (
     OperatorMetrics,
     StallEvent,
     stopwatch,
+)
+from repro.stream.mp import (
+    PROCESSES,
+    ProcessBackedTransform,
+    WorkerHandle,
+    resolve_backend,
+    start_worker,
+    supports_process_backend,
+    validate_backend,
 )
 from repro.stream.operators import Sink, Source, Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan
@@ -75,7 +84,7 @@ class ExecutionResult:
 
 
 class Executor:
-    """Executes physical plans on threads.
+    """Executes physical plans on threads, optionally backed by processes.
 
     Args:
         supervisor: per-operator supervision policies and the default
@@ -84,6 +93,16 @@ class Executor:
             behaviour).  Policies attached to the logical graph (via
             ``DataflowGraph.add(..., supervision=...)``) override the
             supervisor's entries.
+        stall_timeout: arm the hung-operator watchdog with this deadline
+            (seconds); ``None`` leaves it off unless the plan sets one.
+        backend: ``"threads"`` runs every operator on a thread (default);
+            ``"processes"`` offloads spec-enabled cloneable transforms to
+            worker processes fed over shared memory (sources, sinks and
+            queues stay in-process).  ``None`` defers to the plan's
+            backend, then the ``REPRO_STREAM_BACKEND`` environment
+            variable, then ``"threads"``.
+        mp_context: multiprocessing start method for worker processes
+            (``"fork"``/``"spawn"``); ``None`` picks the platform default.
 
     Example:
         >>> executor = Executor()                      # doctest: +SKIP
@@ -97,11 +116,15 @@ class Executor:
         self,
         supervisor: Supervisor | None = None,
         stall_timeout: float | None = None,
+        backend: str | None = None,
+        mp_context: str | None = None,
     ) -> None:
         if stall_timeout is not None and stall_timeout <= 0:
             raise ValueError(f"stall_timeout must be positive, got {stall_timeout}")
         self.supervisor = supervisor if supervisor is not None else Supervisor()
         self.stall_timeout = stall_timeout
+        self.backend = validate_backend(backend) if backend is not None else None
+        self.mp_context = mp_context
 
     def run(self, plan: PhysicalPlan) -> ExecutionResult:
         """Execute ``plan`` to completion.
@@ -110,13 +133,16 @@ class Executor:
             An :class:`ExecutionResult` with the sink value and metrics.
 
         Raises:
+            ValueError: the plan has no operators (nothing was planned —
+                a structural mistake, not an execution failure).
             ExecutionError: if any operator failed; all other operators
                 are unblocked and joined before raising.  A watchdog
                 stall surfaces as an
                 :class:`~repro.stream.errors.OperatorStalled` failure.
         """
         if not plan.operators:
-            raise ExecutionError([])
+            raise ValueError("plan has no operators")
+        backend = resolve_backend(plan.backend, self.backend)
         stall_timeout = (
             plan.stall_timeout if plan.stall_timeout is not None else self.stall_timeout
         )
@@ -132,33 +158,44 @@ class Executor:
             for queue in plan.queues.values():
                 queue.abort()
 
-        threads = []
-        started = time.perf_counter()
-        for physical in plan.operators:
-            metrics = OperatorMetrics(name=physical.name)
-            all_metrics.append(metrics)
-            thread = threading.Thread(
-                target=self._run_operator,
-                args=(physical, metrics, record_failure, sink_box, plan),
-                name=f"stream-{physical.name}",
-                daemon=True,
-            )
-            threads.append(thread)
-        for thread in threads:
-            thread.start()
-        if stall_timeout is None:
+        # Worker processes start before any operator thread: forking a
+        # single-threaded parent is safe, forking a running pool is not.
+        workers: list[WorkerHandle] = []
+        try:
+            operators = list(plan.operators)
+            if backend == PROCESSES:
+                operators = self._offload_to_processes(plan, operators, workers)
+
+            threads = []
+            started = time.perf_counter()
+            for physical in operators:
+                metrics = OperatorMetrics(name=physical.name)
+                all_metrics.append(metrics)
+                thread = threading.Thread(
+                    target=self._run_operator,
+                    args=(physical, metrics, record_failure, sink_box, plan),
+                    name=f"stream-{physical.name}",
+                    daemon=True,
+                )
+                threads.append(thread)
             for thread in threads:
-                thread.join()
-        else:
-            self._join_with_watchdog(
-                plan,
-                threads,
-                all_metrics,
-                stall_timeout,
-                stalls,
-                record_failure,
-            )
-        wall = time.perf_counter() - started
+                thread.start()
+            if stall_timeout is None:
+                for thread in threads:
+                    thread.join()
+            else:
+                self._join_with_watchdog(
+                    plan,
+                    threads,
+                    all_metrics,
+                    stall_timeout,
+                    stalls,
+                    record_failure,
+                )
+            wall = time.perf_counter() - started
+        finally:
+            for worker in workers:
+                worker.shutdown()
 
         metrics = ExecutionMetrics(
             wall_seconds=wall,
@@ -170,10 +207,49 @@ class Executor:
                 else 0
             ),
             stalls=stalls,
+            backend=backend,
+            workers=[worker.stats for worker in workers],
         )
         if failures:
             raise ExecutionError(failures, metrics=metrics)
         return ExecutionResult(value=sink_box.get("result"), metrics=metrics)
+
+    def _offload_to_processes(
+        self,
+        plan: PhysicalPlan,
+        operators: list[PhysicalOperator],
+        workers: list[WorkerHandle],
+    ) -> list[PhysicalOperator]:
+        """Rebind spec-enabled transforms to dedicated worker processes.
+
+        One worker per physical instance, so the planner's clone decision
+        is also the process-parallelism decision.  Operators without a
+        spec — and transforms supervised with ``restart``, whose
+        snapshot/replay recovery needs the in-process instance — keep
+        running on their thread.  Started workers are appended to
+        ``workers`` as they come up so the caller can clean up even when
+        a later worker fails to start.
+        """
+        offloaded: list[PhysicalOperator] = []
+        for physical in operators:
+            operator = physical.operator
+            if (
+                isinstance(operator, Transform)
+                and supports_process_backend(operator)
+                and self._policy_for(plan, physical.logical_name).mode != "restart"
+            ):
+                worker = start_worker(
+                    operator.to_spec(),
+                    name=physical.name,
+                    mp_context=self.mp_context,
+                )
+                workers.append(worker)
+                physical = replace(
+                    physical,
+                    operator=ProcessBackedTransform(operator, worker),
+                )
+            offloaded.append(physical)
+        return offloaded
 
     # -- watchdog -----------------------------------------------------------
 
@@ -400,3 +476,6 @@ class Executor:
                 sink.consume(item)
         with stopwatch(metrics):
             sink_box["result"] = sink.result()
+        incomplete = getattr(sink, "incomplete_cells", None)
+        if incomplete:
+            metrics.incomplete_cells.extend(incomplete)

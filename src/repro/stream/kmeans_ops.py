@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
@@ -45,6 +46,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (checkpoint uses item
 __all__ = [
     "GridCellChunkSource",
     "PartialKMeansOperator",
+    "PartialKMeansSpec",
     "MergeKMeansSink",
     "build_partial_merge_graph",
     "run_partial_merge_stream",
@@ -81,13 +83,35 @@ class GridCellChunkSource(Source):
             raise ValueError("cells mapping must not be empty")
         if n_chunks is None and resources is None:
             raise ValueError("provide either n_chunks or resources")
-        self._cells = {cell: as_points(points) for cell, points in cells.items()}
+        self._cells = {
+            cell: self._coerce(points) for cell, points in cells.items()
+        }
         self._n_chunks = n_chunks
         self._resources = resources
         self._rng = np.random.default_rng(seed)
 
-    def generate(self) -> Iterator[DataChunk]:
+    @staticmethod
+    def _coerce(points: np.ndarray) -> np.ndarray:
+        """Validate one cell's points, allowing the zero-point cell."""
+        arr = np.asarray(points, dtype=np.float64)
+        if arr.size == 0:
+            dim = arr.shape[1] if arr.ndim == 2 else 1
+            return np.zeros((0, max(1, dim)), dtype=np.float64)
+        return as_points(arr)
+
+    def generate(self) -> Iterator[DataChunk | Watermark]:
         for cell_id, points in self._cells.items():
+            if points.shape[0] == 0:
+                # A cell with no points produces no chunks, but it must
+                # still appear in the results: announce it with a
+                # zero-partition watermark so the merge sink records an
+                # empty model instead of the cell silently vanishing.
+                yield Watermark(
+                    cell_id,
+                    n_partitions=0,
+                    payload={"dim": int(points.shape[1]), "n_points": 0},
+                )
+                continue
             if self._n_chunks is not None:
                 chunks_wanted = self._n_chunks
             else:
@@ -195,6 +219,54 @@ class PartialKMeansOperator(Transform):
             partial_iterations=result.iterations,
         )
 
+    def to_spec(self) -> "PartialKMeansSpec":
+        """Picklable recipe for the process backend (rebuilds this clone)."""
+        base = self._seed_sequence
+        return PartialKMeansSpec(
+            k=self.k,
+            restarts=self.restarts,
+            seeding=self.seeding,
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+            entropy=base.entropy,
+            spawn_key=tuple(base.spawn_key),
+            name=self.name,
+        )
+
+
+@dataclass(frozen=True)
+class PartialKMeansSpec:
+    """Picklable recipe rebuilding a :class:`PartialKMeansOperator`.
+
+    The process backend ships this spec to the worker instead of the
+    operator itself.  ``entropy``/``spawn_key`` reconstruct the shared
+    seed sequence exactly, so a worker-built clone derives the same
+    chunk-identity RNG streams as the in-process original — which is why
+    thread- and process-backend runs of the same plan are bit-identical.
+    """
+
+    k: int
+    restarts: int
+    seeding: str
+    criterion: ConvergenceCriterion | None
+    max_iter: int
+    entropy: int
+    spawn_key: tuple[int, ...]
+    name: str
+
+    def build(self) -> PartialKMeansOperator:
+        return PartialKMeansOperator(
+            k=self.k,
+            restarts=self.restarts,
+            seeding=self.seeding,
+            criterion=self.criterion,
+            max_iter=self.max_iter,
+            seed_sequence=np.random.SeedSequence(
+                entropy=self.entropy, spawn_key=self.spawn_key
+            ),
+            name=self.name,
+        )
+
 
 class MergeKMeansSink(Sink):
     """Terminal consumer: collective merge k-means per grid cell.
@@ -233,6 +305,10 @@ class MergeKMeansSink(Sink):
         self._pending: dict[str, list[CentroidMessage]] = {}
         self._expected: dict[str, int] = {}
         self._models: dict[str, ClusterModel] = {}
+        #: Cells finalised with partitions missing (a ``degrade`` drop
+        #: upstream), in finalisation order; the executor copies this
+        #: into the sink's :class:`~repro.stream.metrics.OperatorMetrics`.
+        self.incomplete_cells: list[str] = []
 
     def preload(self, messages: Iterable[CentroidMessage]) -> None:
         """Replay journaled partition summaries without re-journaling them.
@@ -260,6 +336,18 @@ class MergeKMeansSink(Sink):
             # partition's message, so watermarks overtaking in-flight
             # chunks (possible with cloned partial operators) are safe.
             self._expected[item.cell_id] = item.n_partitions
+            if item.n_partitions == 0:
+                # A declared-empty cell: no chunks will ever arrive, so
+                # record an explicit empty model for it now.
+                model = ClusterModel.empty(
+                    int(item.payload.get("dim", 1)),
+                    method="partial/merge[stream]",
+                    extra={"empty_cell": True},
+                )
+                self._models[item.cell_id] = model
+                if self._journal is not None:
+                    self._journal.append_cell(item.cell_id, model)
+                return
             self._maybe_finalize(item.cell_id)
             return
         if self._journal is not None:
@@ -299,6 +387,19 @@ class MergeKMeansSink(Sink):
             evaluate_mse(raw, merged.model.centroids) if raw is not None else merged.mse
         )
         partial_seconds = sum(m.partial_seconds for m in messages)
+        extra: dict = {
+            "merge_iterations": merged.iterations,
+            "partial_iterations": [m.partial_iterations for m in messages],
+        }
+        expected = self._expected.get(cell_id, 0)
+        if expected and len(messages) != expected:
+            # Finalising short: partitions were dropped upstream (degrade
+            # policy).  The model is still usable, but the loss must be
+            # visible — both on the model and in the execution metrics.
+            present = {m.partition for m in messages}
+            extra["expected_partitions"] = expected
+            extra["missing_partitions"] = sorted(set(range(expected)) - present)
+            self.incomplete_cells.append(cell_id)
         model = ClusterModel(
             centroids=merged.model.centroids,
             weights=merged.model.weights,
@@ -308,10 +409,7 @@ class MergeKMeansSink(Sink):
             partial_seconds=partial_seconds,
             merge_seconds=merged.seconds,
             total_seconds=partial_seconds + total,
-            extra={
-                "merge_iterations": merged.iterations,
-                "partial_iterations": [m.partial_iterations for m in messages],
-            },
+            extra=extra,
         )
         self._models[cell_id] = model
         if self._journal is not None:
@@ -370,6 +468,8 @@ def run_partial_merge_stream(
     fault_plan: FaultPlan | None = None,
     supervision: Mapping[str, SupervisionPolicy] | None = None,
     retry_policy: RetryPolicy | None = None,
+    backend: str | None = None,
+    workers: int | None = None,
 ) -> tuple[dict[str, ClusterModel], ExecutionResult]:
     """Cluster every grid cell with the streamed partial/merge pipeline.
 
@@ -391,11 +491,23 @@ def run_partial_merge_stream(
             ``{"partial": SupervisionPolicy.restart(1)}``); unlisted
             operators fail fast.
         retry_policy: default per-item retry policy for all transforms.
+        backend: run partial-k-means clones on ``"threads"`` or
+            ``"processes"`` (worker processes fed over shared memory);
+            ``None`` defers to the ``REPRO_STREAM_BACKEND`` environment
+            variable, then ``"threads"``.  Results are bit-identical
+            across backends for a fixed seed.
+        workers: shorthand for ``partial_clones`` aimed at the process
+            backend (one worker process per clone); ignored when
+            ``partial_clones`` is given explicitly.
 
     Returns:
         ``(models, execution_result)`` where ``models`` maps cell id to
         its final :class:`ClusterModel`.
     """
+    if workers is not None and workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if partial_clones is None and workers is not None:
+        partial_clones = workers
     envelope = resources if resources is not None else ResourceManager()
     graph = build_partial_merge_graph(
         cells,
@@ -411,7 +523,7 @@ def run_partial_merge_stream(
         graph.set_supervision(name, policy)
     overrides = {"partial": partial_clones} if partial_clones else None
     plan = Planner(envelope).plan(
-        graph, clone_overrides=overrides, fault_plan=fault_plan
+        graph, clone_overrides=overrides, fault_plan=fault_plan, backend=backend
     )
     supervisor = Supervisor(retry_policy=retry_policy)
     outcome = Executor(supervisor=supervisor).run(plan)

@@ -19,6 +19,7 @@ __all__ = [
     "ExecutionMetrics",
     "StallEvent",
     "CheckpointStats",
+    "WorkerProcessStats",
     "stopwatch",
 ]
 
@@ -43,6 +44,8 @@ class OperatorMetrics:
             ``"cell/Ppartition"``), in drop order.
         quarantined_files: ``"filename: reason"`` per input file a source
             moved aside under the ``quarantine`` corruption policy.
+        incomplete_cells: cell ids a sink finalised with partitions
+            missing (a ``degrade`` drop upstream), in finalisation order.
     """
 
     name: str
@@ -56,6 +59,7 @@ class OperatorMetrics:
     degraded_items: int = 0
     lost_items: list[str] = field(default_factory=list)
     quarantined_files: list[str] = field(default_factory=list)
+    incomplete_cells: list[str] = field(default_factory=list)
 
     @property
     def wall_seconds(self) -> float:
@@ -101,6 +105,31 @@ class StallEvent:
 
 
 @dataclass
+class WorkerProcessStats:
+    """Accounting for one process-backend worker.
+
+    Attributes:
+        name: physical operator the worker serves (e.g. ``"partial#2"``).
+        pid: worker process id.
+        items: items the worker processed.
+        busy_seconds: time spent inside ``process`` calls *in the worker*
+            (excludes shared-memory transfer and pipe round-trips, so the
+            gap to the dispatching operator's ``busy_seconds`` is the IPC
+            overhead).
+        spawn_seconds: time to start the process and build its operator
+            from the pickled spec.
+        shm_bytes: point-array bytes handed over via shared memory.
+    """
+
+    name: str
+    pid: int = 0
+    items: int = 0
+    busy_seconds: float = 0.0
+    spawn_seconds: float = 0.0
+    shm_bytes: int = 0
+
+
+@dataclass
 class CheckpointStats:
     """Journal/recovery accounting for one checkpointed execution.
 
@@ -139,6 +168,10 @@ class ExecutionMetrics:
         stalls: watchdog stall diagnoses recorded during the run.
         checkpoint: journal/recovery accounting (``None`` when the run
             was not checkpointed).
+        backend: execution backend the plan ran on (``"threads"`` or
+            ``"processes"``).
+        workers: per-worker process accounting (empty on the thread
+            backend).
     """
 
     wall_seconds: float = 0.0
@@ -147,6 +180,8 @@ class ExecutionMetrics:
     injected_faults: int = 0
     stalls: list[StallEvent] = field(default_factory=list)
     checkpoint: CheckpointStats | None = None
+    backend: str = "threads"
+    workers: list[WorkerProcessStats] = field(default_factory=list)
 
     @property
     def total_retries(self) -> int:
@@ -184,6 +219,24 @@ class ExecutionMetrics:
         """Input files quarantined across all sources."""
         return sum(len(op.quarantined_files) for op in self.operators)
 
+    @property
+    def incomplete_cells(self) -> list[str]:
+        """Cells finalised with missing partitions, sorted."""
+        incomplete: list[str] = []
+        for op in self.operators:
+            incomplete.extend(op.incomplete_cells)
+        return sorted(incomplete)
+
+    @property
+    def worker_busy_seconds(self) -> float:
+        """In-worker compute time summed over all process workers."""
+        return sum(worker.busy_seconds for worker in self.workers)
+
+    @property
+    def shm_bytes(self) -> int:
+        """Point-array bytes transferred via shared memory."""
+        return sum(worker.shm_bytes for worker in self.workers)
+
     def busy_seconds_for(self, logical_name: str) -> float:
         """Total busy time across all clones of a logical operator."""
         prefix = f"{logical_name}#"
@@ -218,6 +271,21 @@ class ExecutionMetrics:
                 f"  quarantined: {self.total_quarantined} file(s): "
                 + ", ".join(self.quarantined_files)
             )
+        incomplete = self.incomplete_cells
+        if incomplete:
+            lines.append(
+                f"  incomplete: {len(incomplete)} cell(s) finalised with "
+                f"missing partitions: " + ", ".join(incomplete)
+            )
+        if self.workers:
+            lines.append(f"  backend: {self.backend}")
+            for worker in sorted(self.workers, key=lambda w: w.name):
+                lines.append(
+                    f"  worker {worker.name:<13} pid={worker.pid:<7} "
+                    f"items={worker.items:<5} busy={worker.busy_seconds:.3f}s "
+                    f"shm={worker.shm_bytes / 1e6:.1f}MB "
+                    f"spawn={worker.spawn_seconds:.3f}s"
+                )
         for stall in self.stalls:
             lines.append(
                 f"  stall: no progress for {stall.waited_seconds:.1f}s; "

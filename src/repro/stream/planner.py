@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.stream.faults import FaultPlan
 from repro.stream.graph import DataflowGraph
+from repro.stream.mp import validate_backend
 from repro.stream.operators import Operator, Sink, Transform
 from repro.stream.queues import SmartQueue
 from repro.stream.scheduler import ResourceManager
@@ -60,6 +61,10 @@ class PhysicalPlan:
         stall_timeout: watchdog deadline in seconds; when set, the
             executor monitors queue progress and diagnoses hung operators
             (``None`` disables the watchdog).
+        backend: execution backend for cloneable transforms —
+            ``"threads"`` (default), ``"processes"`` (worker processes
+            fed over shared memory), or ``None`` to defer to the
+            executor's own setting.
     """
 
     operators: list[PhysicalOperator] = field(default_factory=list)
@@ -68,12 +73,15 @@ class PhysicalPlan:
     supervision: dict[str, SupervisionPolicy] = field(default_factory=dict)
     fault_plan: FaultPlan | None = None
     stall_timeout: float | None = None
+    backend: str | None = None
 
     def describe(self) -> str:
         """One-line-per-operator plan description (for CLI/examples)."""
         lines = ["physical plan:"]
         for logical, count in self.clone_counts.items():
             lines.append(f"  {logical}: {count} instance(s)")
+        if self.backend is not None:
+            lines.append(f"  backend: {self.backend}")
         return "\n".join(lines)
 
 
@@ -94,6 +102,7 @@ class Planner:
         clone_overrides: dict[str, int] | None = None,
         fault_plan: FaultPlan | None = None,
         stall_timeout: float | None = None,
+        backend: str | None = None,
     ) -> PhysicalPlan:
         """Compile ``graph`` into a :class:`PhysicalPlan`.
 
@@ -106,6 +115,8 @@ class Planner:
                 spec targets is wrapped transparently (testing only).
             stall_timeout: arm the executor's hung-operator watchdog with
                 this deadline in seconds (``None`` leaves it off).
+            backend: run cloneable transforms on ``"threads"`` or
+                ``"processes"``; ``None`` defers to the executor.
 
         Returns:
             A wired physical plan.
@@ -121,6 +132,7 @@ class Planner:
             supervision=graph.supervision_policies(),
             fault_plan=fault_plan,
             stall_timeout=stall_timeout,
+            backend=validate_backend(backend) if backend is not None else None,
         )
         # One input queue per consuming logical operator.
         for name in graph.names():

@@ -52,6 +52,7 @@ from repro.stream.kmeans_ops import (
     PartialKMeansOperator,
 )
 from repro.stream.metrics import CheckpointStats, ExecutionMetrics
+from repro.stream.mp import validate_backend
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
 from repro.stream.supervision import RetryPolicy, SupervisionPolicy, Supervisor
@@ -97,6 +98,7 @@ class _QueryState:
     on_corrupt: str = FAIL
     quarantine_dir: str | None = None
     stall_timeout: float | None = None
+    backend: str | None = None
 
 
 class Query:
@@ -199,6 +201,28 @@ class Query:
     def with_seed(self, seed: int) -> "Query":
         """Make chunking and seeding deterministic."""
         self._state.seed = seed
+        return self
+
+    def with_backend(self, backend: str, workers: int | None = None) -> "Query":
+        """Choose the execution backend for the partial stage.
+
+        Args:
+            backend: ``"threads"`` (default engine behaviour) or
+                ``"processes"`` — partial clones run in worker processes
+                fed over shared memory.  For a fixed seed the results are
+                bit-identical across backends.
+            workers: shorthand for :meth:`with_partial_clones` (one
+                worker process per clone).
+        """
+        self._state.backend = validate_backend(backend)
+        if workers is not None:
+            if self._state.partial_clones is not None:
+                raise QueryError(
+                    "workers conflicts with with_partial_clones(); set one"
+                )
+            if workers < 1:
+                raise QueryError(f"workers must be >= 1, got {workers}")
+            self._state.partial_clones = workers
         return self
 
     def with_supervision(
@@ -420,6 +444,7 @@ class Query:
             clone_overrides=overrides,
             fault_plan=fault_plan,
             stall_timeout=self._state.stall_timeout,
+            backend=self._state.backend,
         )
         supervisor = Supervisor(retry_policy=self._state.retry_policy)
         return Executor(supervisor=supervisor).run(plan)

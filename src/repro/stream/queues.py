@@ -20,7 +20,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterator
 
-from repro.stream.errors import QueueClosedError
+from repro.stream.errors import QueueClosedError, QueueTimeout
 
 __all__ = ["QueueStats", "SmartQueue", "END_OF_STREAM"]
 
@@ -102,8 +102,9 @@ class SmartQueue:
         """Enqueue ``item``, blocking while the buffer is full.
 
         Raises:
-            QueueClosedError: the queue was closed or aborted, or the
-                ``timeout`` expired while blocked on backpressure.
+            QueueClosedError: the queue was closed or aborted.
+            QueueTimeout: the ``timeout`` expired while blocked on
+                backpressure (the queue itself is still healthy).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
@@ -117,7 +118,7 @@ class SmartQueue:
                 blocked_at = time.monotonic()
                 remaining = None if deadline is None else deadline - blocked_at
                 if remaining is not None and remaining <= 0:
-                    raise QueueClosedError(
+                    raise QueueTimeout(
                         f"queue {self.name!r}: put timed out under backpressure"
                     )
                 self._not_full.wait(remaining)
@@ -135,8 +136,9 @@ class SmartQueue:
         """Dequeue one item; returns :data:`END_OF_STREAM` when exhausted.
 
         Raises:
-            QueueClosedError: the queue was aborted, or ``timeout`` expired
-                while the buffer stayed empty.
+            QueueClosedError: the queue was aborted.
+            QueueTimeout: ``timeout`` expired while the buffer stayed
+                empty (starvation, not a plan abort).
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
@@ -153,7 +155,7 @@ class SmartQueue:
                 blocked_at = time.monotonic()
                 remaining = None if deadline is None else deadline - blocked_at
                 if remaining is not None and remaining <= 0:
-                    raise QueueClosedError(
+                    raise QueueTimeout(
                         f"queue {self.name!r}: get timed out while starved"
                     )
                 self._not_empty.wait(remaining)

@@ -24,6 +24,18 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
     """Convert execution metrics to a JSON-safe dictionary."""
     payload = {
         "wall_seconds": metrics.wall_seconds,
+        "backend": metrics.backend,
+        "workers": [
+            {
+                "name": worker.name,
+                "pid": worker.pid,
+                "items": worker.items,
+                "busy_seconds": worker.busy_seconds,
+                "spawn_seconds": worker.spawn_seconds,
+                "shm_bytes": worker.shm_bytes,
+            }
+            for worker in metrics.workers
+        ],
         "operators": [
             {
                 "name": op.name,
@@ -37,6 +49,7 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
                 "degraded_items": op.degraded_items,
                 "lost_items": list(op.lost_items),
                 "quarantined_files": list(op.quarantined_files),
+                "incomplete_cells": list(op.incomplete_cells),
             }
             for op in metrics.operators
         ],
@@ -47,6 +60,7 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
             "lost_partitions": metrics.lost_partitions,
             "injected_faults": metrics.injected_faults,
             "quarantined_files": metrics.quarantined_files,
+            "incomplete_cells": metrics.incomplete_cells,
         },
         "queues": {
             name: {

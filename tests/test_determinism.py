@@ -1,10 +1,9 @@
 """Determinism regression: identical seeds must give byte-identical models.
 
-With a single partial clone, chunk order and every RNG draw are fixed by
-the seed, so two runs — even across different executors — must agree to
-the last bit.  (With >1 clone the chunk→clone assignment depends on
-thread scheduling, so exact reproducibility is only promised for
-``partial_clones=1``.)
+Chunk order and every RNG draw are fixed by the seed: each partition's
+RNG is a pure function of (seed, cell, partition), never of processing
+order, so runs must agree to the last bit across executors, clone counts
+and execution backends (threads vs worker processes).
 """
 
 from __future__ import annotations
@@ -40,6 +39,14 @@ def run_simple(cells, seed):
     return models
 
 
+def run_processes(cells, seed, clones=2):
+    models, _ = run_partial_merge_stream(
+        cells, k=3, restarts=2, n_chunks=3, seed=seed,
+        partial_clones=clones, max_iter=40, backend="processes",
+    )
+    return models
+
+
 def run_adaptive(cells, seed):
     # Graph operators are stateful — build a fresh one per run.
     graph = build_partial_merge_graph(
@@ -69,6 +76,16 @@ class TestDeterminism:
 
     def test_adaptive_runs_agree_with_each_other(self, cells):
         assert_models_identical(run_adaptive(cells, 3), run_adaptive(cells, 3))
+
+    def test_thread_and_process_backends_bit_identical(self, cells):
+        """The tentpole guarantee: offloading partial clones to worker
+        processes must not change a single output bit."""
+        assert_models_identical(run_simple(cells, 7), run_processes(cells, 7))
+
+    def test_process_backend_runs_agree_with_each_other(self, cells):
+        assert_models_identical(
+            run_processes(cells, 5), run_processes(cells, 5, clones=3)
+        )
 
     def test_different_seed_changes_model(self, cells):
         a, b = run_simple(cells, 1), run_simple(cells, 2)

@@ -52,6 +52,20 @@ class TestGridCellChunkSource:
         with pytest.raises(ValueError, match="must not be empty"):
             GridCellChunkSource({}, n_chunks=2)
 
+    def test_zero_point_cell_yields_empty_watermark(self, cells):
+        from repro.stream.items import Watermark
+
+        cells = dict(cells, hole=np.zeros((0, 6)))
+        source = GridCellChunkSource(cells, n_chunks=3, seed=0)
+        items = list(source.generate())
+        marks = [i for i in items if isinstance(i, Watermark)]
+        assert [m.cell_id for m in marks] == ["hole"]
+        assert marks[0].n_partitions == 0
+        assert marks[0].payload == {"dim": 6, "n_points": 0}
+        assert not any(
+            isinstance(i, DataChunk) and i.cell_id == "hole" for i in items
+        )
+
 
 class TestPartialKMeansOperator:
     def test_process_yields_centroid_message(self, blobs_6d):
@@ -115,6 +129,40 @@ class TestMergeKMeansSink:
         models = sink.result()
         assert "partial-cell" in models
 
+    def test_zero_partition_watermark_records_empty_model(self):
+        from repro.stream.items import Watermark
+
+        sink = MergeKMeansSink(k=4)
+        sink.consume(
+            Watermark(cell_id="hole", n_partitions=0, payload={"dim": 6})
+        )
+        models = sink.result()
+        assert models["hole"].centroids.shape == (0, 6)
+        assert models["hole"].weights.shape == (0,)
+        assert models["hole"].extra["empty_cell"] is True
+        assert sink.incomplete_cells == []
+
+    def test_short_finalisation_records_missing_partitions(self, blobs_6d):
+        operator = PartialKMeansOperator(
+            k=4, restarts=1, seed_sequence=np.random.SeedSequence(6)
+        )
+        sink = MergeKMeansSink(k=4)
+        for partition in (0, 2):  # partition 1 was lost upstream
+            chunk = DataChunk(
+                cell_id="lossy",
+                partition=partition,
+                points=blobs_6d[partition * 100 : (partition + 1) * 100],
+                n_partitions=3,
+            )
+            for message in operator.process(chunk):
+                sink.consume(message)
+        models = sink.result()
+        model = models["lossy"]
+        assert model.partitions == 2
+        assert model.extra["expected_partitions"] == 3
+        assert model.extra["missing_partitions"] == [1]
+        assert sink.incomplete_cells == ["lossy"]
+
 
 class TestRunPartialMergeStream:
     def test_end_to_end_models(self, cells):
@@ -159,6 +207,39 @@ class TestRunPartialMergeStream:
         assert len(partial_ops_1) == 1
         assert len(partial_ops_3) == 3
         assert set(models_1) == set(models_3)
+
+    def test_zero_point_cell_end_to_end(self, cells):
+        cells = dict(cells, hole=np.zeros((0, 6)))
+        models, outcome = run_partial_merge_stream(
+            cells, k=5, restarts=1, n_chunks=3, seed=0
+        )
+        assert set(models) == set(cells)
+        assert models["hole"].k == 0
+        assert models["hole"].extra["empty_cell"] is True
+        assert outcome.metrics.incomplete_cells == []
+
+    def test_degrade_surfaces_incomplete_cells_in_metrics(self, cells):
+        from repro.stream.faults import FaultPlan, FaultSpec
+        from repro.stream.supervision import SupervisionPolicy
+
+        fault_plan = FaultPlan(
+            [FaultSpec(target="partial", kind="crash", at_index=2)]
+        )
+        models, outcome = run_partial_merge_stream(
+            cells,
+            k=5,
+            restarts=1,
+            n_chunks=4,
+            seed=0,
+            partial_clones=1,
+            fault_plan=fault_plan,
+            supervision={"partial": SupervisionPolicy.degrade()},
+        )
+        incomplete = outcome.metrics.incomplete_cells
+        assert incomplete  # the injected crash dropped a chunk
+        for cell_id in incomplete:
+            assert models[cell_id].extra["missing_partitions"]
+        assert any("incomplete" in line for line in outcome.metrics.summary_lines())
 
     def test_memory_driven_chunking(self, cells):
         resources = ResourceManager(

@@ -128,6 +128,25 @@ class TestExecutor:
         outcome = Executor().run(plan)
         assert outcome.value == [i * 2 for i in range(20)]
 
+    def test_empty_plan_is_a_usage_error(self):
+        """No operators is a structural mistake, not an execution failure."""
+        from repro.stream.planner import PhysicalPlan
+
+        with pytest.raises(ValueError, match="plan has no operators"):
+            Executor().run(PhysicalPlan())
+
+    def test_plan_backend_flows_into_metrics(self):
+        plan = Planner(ResourceManager(worker_slots=2)).plan(
+            linear_graph(5), backend="threads"
+        )
+        assert plan.backend == "threads"
+        outcome = Executor().run(plan)
+        assert outcome.metrics.backend == "threads"
+
+    def test_planner_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            Planner().plan(linear_graph(5), backend="gpu")
+
     def test_result_independent_of_clone_count(self):
         for slots in (1, 3, 8):
             plan = Planner(ResourceManager(worker_slots=slots)).plan(

@@ -7,7 +7,7 @@ import time
 
 import pytest
 
-from repro.stream.errors import QueueClosedError
+from repro.stream.errors import QueueClosedError, QueueTimeout
 from repro.stream.queues import END_OF_STREAM, SmartQueue
 
 
@@ -105,6 +105,30 @@ class TestBackpressure:
         queue.register_producer()
         with pytest.raises(QueueClosedError, match="timed out"):
             queue.get(timeout=0.05)
+
+    def test_put_timeout_is_distinguishable_from_close(self):
+        """A timeout must raise QueueTimeout, not look like a plan abort."""
+        queue = SmartQueue(capacity=1)
+        queue.register_producer()
+        queue.put(1)
+        with pytest.raises(QueueTimeout, match="backpressure"):
+            queue.put(2, timeout=0.05)
+        # Still a QueueClosedError subclass, so legacy handlers keep working.
+        assert issubclass(QueueTimeout, QueueClosedError)
+
+    def test_get_timeout_is_distinguishable_from_close(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        with pytest.raises(QueueTimeout, match="starved"):
+            queue.get(timeout=0.05)
+
+    def test_abort_still_raises_plain_closed_error(self):
+        queue = SmartQueue()
+        queue.register_producer()
+        queue.abort()
+        with pytest.raises(QueueClosedError) as excinfo:
+            queue.get(timeout=0.05)
+        assert not isinstance(excinfo.value, QueueTimeout)
 
     def test_get_blocks_until_item_arrives(self):
         queue = SmartQueue()
