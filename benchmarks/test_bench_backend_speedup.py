@@ -42,6 +42,11 @@ def test_bench_backend_speedup(benchmark):
     """Threads vs processes: identical bits, wall times to the ledger."""
     host_cpus = os.cpu_count() or 1
     clones = min(4, max(2, host_cpus))
+    # A speed-up number measured with fewer cores than clones is not a
+    # statement about the backends — it is a statement about the host.
+    # Record that honestly so downstream consumers (CI dashboards) can
+    # filter instead of being misled by e.g. 0.59x on a 1-CPU runner.
+    meaningful = host_cpus >= clones
     cells = {"cell": generate_cell_points(10_000, seed=7)}
 
     thread_models, thread_outcome = _run("threads", cells, clones)
@@ -95,6 +100,7 @@ def test_bench_backend_speedup(benchmark):
             ],
         },
         "speedup_processes_over_threads": speedup,
+        "meaningful": meaningful,
         "bit_identical": True,
     }
     (_REPO_ROOT / "BENCH_backend.json").write_text(
@@ -114,6 +120,8 @@ def test_bench_backend_speedup(benchmark):
     assert metrics.shm_bytes > 0
     assert metrics.worker_busy_seconds > 0
 
-    if host_cpus >= 4:
-        # With real cores the GIL-free workers must clearly win.
+    if meaningful and host_cpus >= 4:
+        # With real cores the GIL-free workers must clearly win.  On
+        # hosts with fewer cores than clones the comparison is recorded
+        # (with "meaningful": false) but never asserted on.
         assert speedup > 1.5

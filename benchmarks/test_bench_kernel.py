@@ -1,0 +1,157 @@
+"""Benchmark: Lloyd kernels (dense vs hamerly vs tiled) across (n, k, d).
+
+One fixed-seed Lloyd run per kernel per configuration, from identical
+seeds, on the same synthetic MISR-style mixture the paper's experiments
+use.  Three things are checked and recorded into ``BENCH_kernel.json`` at
+the repository root:
+
+* **bit identity** — every kernel's centroids/assignments/SSE/iterations
+  must match the dense reference exactly (the determinism contract the
+  engine's resume and cross-backend guarantees rest on);
+* **counter-verified work reduction** — on the flagship n=50k, k=40 row
+  the hamerly kernel must *compute strictly fewer distance evaluations*
+  than dense (not merely run faster: wall time can lie, counters cannot);
+* **wall-clock speed-up** — hamerly >= 1.3x dense on that same row.
+
+The tiled kernel's purpose is memory boundedness (it never materialises
+the full ``(n, k)`` distance matrix), not raw speed; its wall time is
+recorded but not asserted on.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.kmeans import lloyd
+from repro.data.generator import generate_cell_points
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: (n, k, d) grid; the last row is the flagship workload the acceptance
+#: thresholds apply to (n >= 50k, k >= 40).
+_GRID = [
+    (5_000, 8, 4),
+    (20_000, 40, 6),
+    (50_000, 40, 6),
+]
+_FLAGSHIP = (50_000, 40, 6)
+_MAX_ITER = 120
+_KERNELS = ("dense", "hamerly", "tiled")
+
+
+def _run_one(points, seeds, kernel):
+    started = time.perf_counter()
+    result = lloyd(points, seeds, max_iter=_MAX_ITER, kernel=kernel)
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+def test_bench_kernel(benchmark):
+    """Compare kernels across the grid; write BENCH_kernel.json."""
+    rows = []
+    flagship_row = None
+    for n, k, d in _GRID:
+        points = generate_cell_points(n, seed=29, dim=d)
+        seed_rng = np.random.default_rng(41)
+        seeds = points[seed_rng.choice(n, size=k, replace=False)]
+
+        results = {}
+        walls = {}
+        for kernel in _KERNELS:
+            if kernel == "hamerly" and (n, k, d) == _FLAGSHIP:
+                # The flagship hamerly run is the benchmarked measurement.
+                result, wall = benchmark.pedantic(
+                    lambda: _run_one(points, seeds, "hamerly"),
+                    rounds=1,
+                    iterations=1,
+                )
+            else:
+                result, wall = _run_one(points, seeds, kernel)
+            results[kernel] = result
+            walls[kernel] = wall
+
+        dense = results["dense"]
+        for kernel in _KERNELS[1:]:
+            alt = results[kernel]
+            assert alt.assignments.tobytes() == dense.assignments.tobytes(), (
+                kernel, n, k, d,
+            )
+            assert alt.centroids.tobytes() == dense.centroids.tobytes(), (
+                kernel, n, k, d,
+            )
+            assert alt.sse == dense.sse, (kernel, n, k, d)
+            assert alt.iterations == dense.iterations, (kernel, n, k, d)
+
+        row = {
+            "n": n,
+            "k": k,
+            "d": d,
+            "iterations": dense.iterations,
+            "converged": dense.converged,
+            "bit_identical": True,
+            "kernels": {
+                kernel: {
+                    "wall_seconds": walls[kernel],
+                    "speedup_vs_dense": (
+                        walls["dense"] / walls[kernel]
+                        if walls[kernel] > 0
+                        else float("inf")
+                    ),
+                    "counters": results[kernel].counters.as_dict(),
+                }
+                for kernel in _KERNELS
+            },
+        }
+        rows.append(row)
+        if (n, k, d) == _FLAGSHIP:
+            flagship_row = row
+
+        print()
+        print(
+            f"(n={n}, k={k}, d={d}, iters={dense.iterations}): "
+            + "  ".join(
+                f"{kernel} {walls[kernel]:.3f}s"
+                f" ({walls['dense'] / max(walls[kernel], 1e-12):.2f}x)"
+                for kernel in _KERNELS
+            )
+        )
+
+    assert flagship_row is not None
+    hamerly = flagship_row["kernels"]["hamerly"]
+    dense = flagship_row["kernels"]["dense"]
+    evals_saved = (
+        dense["counters"]["distance_evals_computed"]
+        - hamerly["counters"]["distance_evals_computed"]
+    )
+    payload = {
+        "max_iter": _MAX_ITER,
+        "flagship": {"n": _FLAGSHIP[0], "k": _FLAGSHIP[1], "d": _FLAGSHIP[2]},
+        "flagship_hamerly_speedup": hamerly["speedup_vs_dense"],
+        "flagship_hamerly_evals_saved": evals_saved,
+        "rows": rows,
+    }
+    (_REPO_ROOT / "BENCH_kernel.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    # Counter-verified, not just wall time: the hamerly kernel must do
+    # strictly less distance work than the dense reference.
+    assert (
+        hamerly["counters"]["distance_evals_computed"]
+        < dense["counters"]["distance_evals_computed"]
+    )
+    assert hamerly["counters"]["distance_evals_skipped"] > 0
+    assert evals_saved > 0
+    # Exact accounting: a bounds pass costs (n - m) + m*k <= n*k, so
+    # computed + skipped must equal the dense reference's work precisely.
+    assert (
+        hamerly["counters"]["distance_evals_computed"]
+        + hamerly["counters"]["distance_evals_skipped"]
+        == dense["counters"]["distance_evals_computed"]
+    )
+    # And the pruning must pay off in wall time on the flagship workload.
+    assert hamerly["speedup_vs_dense"] >= 1.3

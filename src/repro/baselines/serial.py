@@ -31,6 +31,9 @@ class SerialKMeans:
         criterion: convergence criterion (paper's 1e-9 MSE delta when
             ``None``).
         max_iter: Lloyd iteration cap per restart.
+        kernel: Lloyd assignment backend name (bit-identical performance
+            knob; ``None`` consults ``REPRO_KMEANS_KERNEL``).
+        early_abandon: cut short restarts that cannot beat the incumbent.
         seed: RNG seed.
 
     Example:
@@ -49,6 +52,8 @@ class SerialKMeans:
         seeding: str = "random",
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
+        kernel: str | None = None,
+        early_abandon: bool = False,
         seed: int | None = None,
     ) -> None:
         if k < 1:
@@ -58,6 +63,8 @@ class SerialKMeans:
         self.seeding = seeding
         self.criterion = criterion
         self.max_iter = max_iter
+        self.kernel = kernel
+        self.early_abandon = early_abandon
         self._rng = np.random.default_rng(seed)
 
     def fit(self, points: np.ndarray) -> ClusterModel:
@@ -72,6 +79,8 @@ class SerialKMeans:
             seeding=self.seeding,
             criterion=self.criterion,
             max_iter=self.max_iter,
+            kernel=self.kernel,
+            early_abandon=self.early_abandon,
         )
         elapsed = time.perf_counter() - start
         best = report.best
@@ -88,5 +97,10 @@ class SerialKMeans:
                 "iterations": report.iteration_counts,
                 "restart_mses": report.mses,
                 "best_restart": report.best_index,
+                "kernel": best.kernel,
+                "kernel_counters": (
+                    report.counters.as_dict() if report.counters else None
+                ),
+                "abandoned_runs": report.abandoned_runs,
             },
         )

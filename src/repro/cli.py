@@ -118,6 +118,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             .partition(args.chunks)
             .cluster(k=args.k, restarts=args.restarts)
             .merge()
+            .with_kernel(args.kernel)
             .with_seed(args.seed)
             .checkpoint(args.checkpoint_dir, resume=args.resume)
             .execute()
@@ -139,9 +140,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     cell = read_bucket_file(args.bucket)
     print(f"cell {cell.cell_id.key}: {cell.n_points} points, dim {cell.dim}")
 
-    serial = SerialKMeans(args.k, restarts=args.restarts, seed=args.seed).fit(
-        cell.points
-    )
+    serial = SerialKMeans(
+        args.k, restarts=args.restarts, kernel=args.kernel, seed=args.seed
+    ).fit(cell.points)
     serial_mse = evaluate_mse(cell.points, serial.centroids)
     print(f"serial        mse={serial_mse:12.2f}  t={serial.total_seconds:.3f}s")
 
@@ -149,6 +150,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         k=args.k,
         restarts=args.restarts,
         n_chunks=args.chunks,
+        kernel=args.kernel,
         seed=args.seed,
     ).fit(cell.points)
     model = report.model
@@ -217,6 +219,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         query = query.partition(args.chunks)
     query = query.cluster(k=args.k, restarts=args.restarts).merge()
+    if args.kernel != "dense":
+        query = query.with_kernel(args.kernel)
     if args.clones:
         query = query.with_partial_clones(args.clones)
     if args.backend != "threads" or args.workers:
@@ -244,6 +248,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         )
     print()
     print("\n".join(result.execution.metrics.summary_lines()))
+    if args.trace_json:
+        from repro.stream.tracing import dump_metrics_json
+
+        print(f"trace: {dump_metrics_json(result.execution.metrics, args.trace_json)}")
     return 0
 
 
@@ -425,6 +433,20 @@ def build_parser() -> argparse.ArgumentParser:
         "planner decide; equivalent to --clones)",
     )
     p_query.add_argument("--seed", type=int, default=None)
+    p_query.add_argument(
+        "--kernel",
+        choices=["dense", "hamerly", "tiled"],
+        default="dense",
+        help="Lloyd assignment kernel for all k-means stages; every "
+        "kernel is bit-identical, so this only changes speed (counters "
+        "in the metrics show what it saved)",
+    )
+    p_query.add_argument(
+        "--trace-json",
+        default=None,
+        help="write the execution metrics (incl. kernel counters) as "
+        "JSON to this path",
+    )
     p_query.add_argument("--explain-only", action="store_true")
     p_query.add_argument(
         "--checkpoint-dir",
@@ -492,6 +514,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--chunks", type=int, default=5)
     p_cluster.add_argument("--restarts", type=int, default=10)
     p_cluster.add_argument("--seed", type=int, default=0)
+    p_cluster.add_argument(
+        "--kernel",
+        choices=["dense", "hamerly", "tiled"],
+        default="dense",
+        help="Lloyd assignment kernel (bit-identical; speed only)",
+    )
     p_cluster.add_argument(
         "--checkpoint-dir",
         default=None,

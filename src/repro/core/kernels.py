@@ -1,0 +1,598 @@
+"""Pluggable Lloyd-iteration backends: dense, Hamerly bounds, tiled matmul.
+
+Every stage of the pipeline — the serial baseline, the partial operator,
+and the merge operator — funnels through :func:`repro.core.kmeans.lloyd`,
+which delegates the per-iteration *assignment step* to one of the kernels
+defined here.  Three backends are provided:
+
+* ``dense`` — the reference: one full ``(n, k)`` ``cdist`` per iteration,
+  exactly the seed implementation's behaviour.
+* ``hamerly`` — a Hamerly-style bounds kernel.  It maintains, per point,
+  a drift-inflated upper estimate of the distance to the assigned
+  centroid and a drift-deflated lower bound on the distance to the
+  *second*-closest centroid.  Points whose upper estimate is strictly
+  below their lower bound provably kept their assignment; for them only
+  the one exact assigned distance is recomputed (the convergence test
+  needs exact per-point errors), never the other ``k - 1`` candidates.
+* ``tiled`` — computes distances in cache-sized row blocks via the
+  ``‖x‖² − 2·x·cᵀ + ‖c‖²`` matmul expansion with point norms cached across
+  iterations, never materialising the full ``(n, k)`` matrix.  Because the
+  expansion is not bit-equal to ``cdist``'s pairwise accumulation, each
+  row's near-minimal candidates are re-evaluated with exact pairwise
+  distances before the argmin is taken.
+
+**Determinism contract.**  All kernels produce bit-identical
+``assignments``, per-point squared distances, and therefore ``centroids``,
+``sse`` and ``iterations`` to the dense reference, including
+``np.argmin``'s first-index tie-breaking.  Two mechanisms enforce this:
+
+1. every distance value that can influence an output is produced by
+   ``scipy.spatial.distance.cdist(..., "sqeuclidean")`` on float64
+   C-contiguous inputs — ``cdist`` computes each pair independently, so a
+   subset call is bit-equal to the corresponding entries of the full
+   matrix — and
+2. pruning/candidate decisions are made strictly *conservative*: Hamerly
+   bounds carry a multiplicative guard band (``_GUARD``) absorbing
+   floating-point drift-update error, and the tiled kernel's candidate
+   tolerance (``_TILE_TOL``) exceeds the matmul expansion's cancellation
+   error by several orders of magnitude.  A pruned point is therefore
+   *provably* strictly closest to its kept centroid (no tie possible),
+   and a tiled candidate set always contains every exactly-minimal column.
+
+Kernel selection: pass ``kernel=`` to :func:`repro.core.kmeans.lloyd` (a
+name or a :class:`LloydKernel` instance), or set the
+``REPRO_KMEANS_KERNEL`` environment variable (``dense``/``hamerly``/
+``tiled``); the explicit argument wins.  Because the kernels are
+bit-identical, the knob can be flipped freely — across restarts, across
+execution backends, even across a crash-resume — without changing a
+single output bit.
+
+Centroid aggregation is shared by all kernels (:func:`aggregate_weighted_sums`)
+and uses one ``np.bincount`` per dimension instead of ``np.add.at`` — the
+same sequential accumulation order, so bit-identical sums, at a fraction
+of the scatter-add's cost.  (A one-hot matmul was evaluated for small
+``k`` but rejected: BLAS reduction order differs from sequential
+accumulation, which would break the bit-identity contract.)
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field, fields
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+__all__ = [
+    "KERNEL_ENV_VAR",
+    "KernelCounters",
+    "LloydKernel",
+    "DenseKernel",
+    "HamerlyKernel",
+    "TiledKernel",
+    "available_kernels",
+    "resolve_kernel",
+    "aggregate_weighted_sums",
+]
+
+#: Environment variable selecting the default kernel.
+KERNEL_ENV_VAR = "REPRO_KMEANS_KERNEL"
+
+#: Relative guard band on Hamerly bounds.  Accumulated floating-point
+#: error on a drift-updated bound is a few ulps (~1e-16 relative) per
+#: iteration; deflating the lower bound by 1e-9 per update absorbs that
+#: with ~6 orders of magnitude to spare while costing essentially no
+#: pruning power (a point is kept only when its two nearest centroids are
+#: within 1e-9 relative distance — at which point recomputing is correct).
+_GUARD = 1e-9
+
+#: Relative candidate tolerance for the tiled kernel.  The matmul
+#: expansion's error is bounded by a small multiple of
+#: ``eps * (‖x‖² + ‖c‖²)`` (~1e-15 relative); 1e-10 keeps every
+#: exactly-minimal column in the candidate set with a wide margin.
+_TILE_TOL = 1e-10
+
+
+@dataclass
+class KernelCounters:
+    """Instrumentation for one (or an aggregate of) Lloyd kernel run(s).
+
+    Attributes:
+        kernel: kernel name the counters belong to.
+        distance_evals_computed: point-centroid distance evaluations
+            actually performed.
+        distance_evals_skipped: evaluations a dense kernel would have
+            performed that this kernel proved redundant.
+        bound_check_hits: points whose bound test pruned the full
+            candidate scan (Hamerly) in some iteration.
+        assign_calls: kernel assignment passes executed.
+        assign_seconds: wall time spent inside assignment passes.
+    """
+
+    kernel: str = "dense"
+    distance_evals_computed: int = 0
+    distance_evals_skipped: int = 0
+    bound_check_hits: int = 0
+    assign_calls: int = 0
+    assign_seconds: float = 0.0
+
+    def merge(self, other: "KernelCounters | None") -> None:
+        """Accumulate ``other`` into this aggregate (in place)."""
+        if other is None:
+            return
+        self.kernel = other.kernel or self.kernel
+        self.distance_evals_computed += other.distance_evals_computed
+        self.distance_evals_skipped += other.distance_evals_skipped
+        self.bound_check_hits += other.bound_check_hits
+        self.assign_calls += other.assign_calls
+        self.assign_seconds += other.assign_seconds
+
+    def as_dict(self) -> dict:
+        """JSON-safe representation (used by stream messages and traces)."""
+        return {
+            "kernel": self.kernel,
+            "distance_evals_computed": int(self.distance_evals_computed),
+            "distance_evals_skipped": int(self.distance_evals_skipped),
+            "bound_check_hits": int(self.bound_check_hits),
+            "assign_calls": int(self.assign_calls),
+            "assign_seconds": float(self.assign_seconds),
+        }
+
+    @staticmethod
+    def from_dict(payload: dict | None) -> "KernelCounters | None":
+        """Rebuild counters from :meth:`as_dict` output (``None`` passes)."""
+        if payload is None:
+            return None
+        known = {f.name for f in fields(KernelCounters)}
+        return KernelCounters(
+            **{key: value for key, value in payload.items() if key in known}
+        )
+
+
+def merge_counter_dicts(target: dict, source: dict | None) -> dict:
+    """Accumulate a counters dict (``as_dict`` shape) into ``target``.
+
+    Numeric fields add; the ``kernel`` name is carried over (last writer
+    wins — mixed-kernel aggregates keep the most recent name).
+    """
+    if source:
+        for key, value in source.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                target[key] = target.get(key, 0) + value
+            else:
+                target[key] = value
+    return target
+
+
+def _pair_sq_distances(points: np.ndarray, centroid: np.ndarray) -> np.ndarray:
+    """Exact squared distances of ``points`` to one centroid, cdist-bitwise."""
+    return cdist(points, centroid.reshape(1, -1), metric="sqeuclidean")[:, 0]
+
+
+def _grouped_assigned_sq(
+    points: np.ndarray,
+    centroids: np.ndarray,
+    assignments: np.ndarray,
+    rows: np.ndarray | None = None,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact squared distance of each point to its assigned centroid.
+
+    Values are bitwise equal to the corresponding entries of the full
+    dense ``cdist`` matrix (``cdist`` evaluates pairs independently).
+    Points are grouped by centroid so each group is one vectorised call.
+
+    When ``rows`` is given only those point indices are evaluated (and
+    only those slots of ``out`` written); ``out`` may be supplied to
+    avoid an allocation.
+    """
+    if out is None:
+        out = np.empty(points.shape[0], dtype=np.float64)
+    k = centroids.shape[0]
+    sub_assign = assignments if rows is None else assignments[rows]
+    # Labels are small ints: sorting a narrowed copy runs a one/two-byte
+    # radix pass instead of a 64-bit merge sort (~6x faster here) with an
+    # identical stable order.
+    if k <= 256:
+        order = np.argsort(sub_assign.astype(np.uint8), kind="stable")
+    elif k <= 65536:
+        order = np.argsort(sub_assign.astype(np.uint16), kind="stable")
+    else:
+        order = np.argsort(sub_assign, kind="stable")
+    sorted_rows = order if rows is None else rows[order]
+    sorted_assign = sub_assign[order]
+    bounds = np.searchsorted(sorted_assign, np.arange(k + 1), side="left")
+    # One gather up front so every group is a contiguous slice, one
+    # scatter at the end — instead of k small fancy-indexing round trips.
+    gathered = points[sorted_rows]
+    grouped = np.empty(sorted_rows.shape[0], dtype=np.float64)
+    for j in range(k):
+        lo, hi = bounds[j], bounds[j + 1]
+        if lo == hi:
+            continue
+        grouped[lo:hi] = _pair_sq_distances(gathered[lo:hi], centroids[j])
+    out[sorted_rows] = grouped
+    return out
+
+
+class LloydKernel:
+    """One Lloyd assignment backend; holds per-run state between iterations.
+
+    Lifecycle (driven by :func:`repro.core.kmeans.lloyd`)::
+
+        kernel.start(points, weights)
+        repeat:
+            assignments, sq_dists = kernel.assign(centroids)
+            # (empty-cluster repair mutates centroids -> kernel.invalidate())
+            kernel.notify_update(old_centroids, new_centroids)
+
+    Kernel instances are single-run and not thread-safe; ``resolve_kernel``
+    hands out a fresh instance per ``lloyd`` call.
+    """
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.counters = KernelCounters(kernel=self.name)
+        self._points: np.ndarray | None = None
+
+    def start(self, points: np.ndarray, weights: np.ndarray) -> None:
+        """Begin a run over ``points`` (already float64 C-contiguous)."""
+        self._points = points
+        self.counters = KernelCounters(kernel=self.name)
+
+    def assign(self, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(assignments, sq_dists)`` for the current centroids.
+
+        Must be bit-identical to ``cdist`` + first-index ``argmin``.
+        """
+        raise NotImplementedError
+
+    def notify_update(
+        self, old_centroids: np.ndarray, new_centroids: np.ndarray
+    ) -> None:
+        """Observe the centroid update step (drift bookkeeping)."""
+
+    def invalidate(self) -> None:
+        """Drop cached bounds (an empty-cluster repair teleported a centroid)."""
+
+
+class DenseKernel(LloydKernel):
+    """The reference kernel: full ``(n, k)`` ``cdist`` every iteration."""
+
+    name = "dense"
+
+    def assign(self, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self._points is not None, "kernel used before start()"
+        started = time.perf_counter()
+        pts = self._points
+        d2 = cdist(pts, centroids, metric="sqeuclidean")
+        assignments = np.argmin(d2, axis=1)
+        sq_dists = d2[np.arange(pts.shape[0]), assignments]
+        self.counters.distance_evals_computed += pts.shape[0] * centroids.shape[0]
+        self.counters.assign_calls += 1
+        self.counters.assign_seconds += time.perf_counter() - started
+        return assignments, sq_dists
+
+
+class HamerlyKernel(LloydKernel):
+    """Bounds-based kernel skipping provably redundant candidate scans.
+
+    Per point the kernel keeps the assignment, the exact squared distance
+    to the assigned centroid as of the *last* pass, and a deflated lower
+    bound on the distance to the second-closest centroid.  After a
+    centroid update the lower bound shrinks by the maximum centroid drift
+    and an *upper estimate* inflates by the assigned centroid's own drift
+    (``u_est = √sq_old + drift[a]`` — an overestimate of the true new
+    assigned distance by the triangle inequality).  A pass then:
+
+    1. prunes points with ``u_est·(1+guard) < l`` — for them the
+       assignment is *provably* strictly unchanged, so at most the one
+       exact assigned distance is recomputed (grouped by centroid; the
+       MSE convergence test needs it exactly).  If the assigned centroid
+       is additionally *bitwise* unchanged, last pass's value is already
+       what ``cdist`` would produce and is reused with zero evaluations;
+    2. scans the full candidate row only for the survivors — that row
+       yields their exact assigned distance for free and refreshes the
+       lower bound from the second-smallest distance.
+
+    Against the dense kernel's ``n·k`` evaluations per pass this performs
+    at most ``(n − m) + m·k ≤ n·k`` where ``m`` is the survivor count —
+    near convergence ``m → 0``, centroids freeze bitwise, and the pass
+    cost approaches zero.  Because a pass never exceeds dense cost, the
+    exact accounting identity ``computed + skipped == dense computed``
+    holds for a whole run.
+    """
+
+    name = "hamerly"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._assignments: np.ndarray | None = None
+        self._lower: np.ndarray | None = None
+        self._sq_dists: np.ndarray | None = None
+        self._drift: np.ndarray | None = None
+        self._moved: np.ndarray | None = None
+        self._valid = False
+
+    def start(self, points: np.ndarray, weights: np.ndarray) -> None:
+        super().start(points, weights)
+        self._assignments = None
+        self._lower = None
+        self._sq_dists = None
+        self._drift = None
+        self._moved = None
+        self._valid = False
+
+    def invalidate(self) -> None:
+        self._valid = False
+
+    def _full_refresh(
+        self, centroids: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        pts = self._points
+        assert pts is not None
+        n, k = pts.shape[0], centroids.shape[0]
+        d2 = cdist(pts, centroids, metric="sqeuclidean")
+        assignments = np.argmin(d2, axis=1)
+        sq_dists = d2[np.arange(n), assignments]
+        if k >= 2:
+            second = np.partition(d2, 1, axis=1)[:, 1]
+            lower = np.sqrt(second) * (1.0 - _GUARD)
+        else:
+            lower = np.full(n, np.inf)
+        self._assignments = assignments
+        self._lower = lower
+        self._sq_dists = sq_dists
+        self._drift = None
+        self._moved = None
+        self._valid = True
+        self.counters.distance_evals_computed += n * k
+        return assignments, sq_dists
+
+    def assign(self, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self._points is not None, "kernel used before start()"
+        started = time.perf_counter()
+        pts = self._points
+        n, k = pts.shape[0], centroids.shape[0]
+        try:
+            if not self._valid or self._assignments is None:
+                return self._full_refresh(centroids)
+
+            assignments = self._assignments
+            lower = self._lower
+            prev_sq = self._sq_dists
+            assert lower is not None and prev_sq is not None
+
+            # Upper estimate: last pass's exact assigned distance plus the
+            # assigned centroid's accumulated drift (triangle inequality
+            # makes this a strict overestimate of the new distance).
+            upper_est = np.sqrt(prev_sq)
+            if self._drift is not None:
+                upper_est += self._drift[assignments]
+            survivor_mask = upper_est * (1.0 + _GUARD) >= lower
+            survivors = np.flatnonzero(survivor_mask)
+            m = survivors.size
+            pruned = n - m
+
+            sq_dists = np.empty(n, dtype=np.float64)
+            recompute = 0
+            if pruned:
+                pruned_mask = ~survivor_mask
+                if self._moved is not None:
+                    # Pruned point whose assigned centroid is *bitwise*
+                    # unchanged: cdist would reproduce last pass's value
+                    # bit for bit, so reuse it with zero evaluations.
+                    stale = pruned_mask & self._moved[assignments]
+                    np.copyto(
+                        sq_dists, prev_sq, where=pruned_mask & ~stale
+                    )
+                else:
+                    stale = pruned_mask
+                stale_rows = np.flatnonzero(stale)
+                recompute = stale_rows.size
+                if recompute:
+                    # Provably unchanged assignment — recompute only the
+                    # one exact assigned distance (the convergence test
+                    # needs it verbatim), grouped by centroid.
+                    _grouped_assigned_sq(
+                        pts,
+                        centroids,
+                        assignments,
+                        rows=stale_rows,
+                        out=sq_dists,
+                    )
+
+            computed = recompute + m * k
+            self.counters.bound_check_hits += pruned
+            self.counters.distance_evals_computed += computed
+            self.counters.distance_evals_skipped += n * k - computed
+            if m:
+                rows = cdist(pts[survivors], centroids, metric="sqeuclidean")
+                row_assign = np.argmin(rows, axis=1)
+                assignments[survivors] = row_assign
+                sq_dists[survivors] = rows[np.arange(m), row_assign]
+                if k >= 2:
+                    second = np.partition(rows, 1, axis=1)[:, 1]
+                    lower[survivors] = np.sqrt(second) * (1.0 - _GUARD)
+                else:
+                    lower[survivors] = np.inf
+            self._sq_dists = sq_dists
+            self._drift = None
+            self._moved = None
+            return assignments, sq_dists
+        finally:
+            self.counters.assign_calls += 1
+            self.counters.assign_seconds += time.perf_counter() - started
+
+    def notify_update(
+        self, old_centroids: np.ndarray, new_centroids: np.ndarray
+    ) -> None:
+        if not self._valid or self._lower is None:
+            return
+        drift = np.sqrt(((new_centroids - old_centroids) ** 2).sum(axis=1))
+        max_drift = float(drift.max()) if drift.size else 0.0
+        # Every centroid moved at most max_drift, so every point's
+        # second-closest distance shrank by at most max_drift; the extra
+        # multiplicative deflation absorbs this update's rounding error.
+        np.maximum((self._lower - max_drift) * (1.0 - _GUARD), 0.0,
+                   out=self._lower)
+        # Accumulated per-centroid drift since the last assign pass
+        # (defensive accumulation; lloyd issues exactly one update per
+        # pass, and assign resets it).  "moved" is tracked bitwise rather
+        # than as drift > 0 because a subnormal displacement can square
+        # to exactly zero.
+        self._drift = drift if self._drift is None else self._drift + drift
+        moved = np.any(new_centroids != old_centroids, axis=1)
+        self._moved = moved if self._moved is None else self._moved | moved
+
+
+class TiledKernel(LloydKernel):
+    """Blocked matmul-expansion kernel; memory bounded by the tile size.
+
+    Distances are computed per row block as
+    ``‖x‖² − 2·x·cᵀ + ‖c‖²`` (point norms cached across iterations,
+    centroid norms per pass) so at most ``tile_rows × k`` floats are live
+    at once.  Because the expansion differs from ``cdist`` in the last
+    ulps, each row's candidates — columns within a conservative tolerance
+    of the row minimum — are re-evaluated exactly before the argmin, which
+    restores bit-identity with the dense reference (see module docstring).
+    """
+
+    name = "tiled"
+
+    #: Default tile budget: ~4 MiB of distance block per pass.
+    DEFAULT_TILE_BYTES = 4 << 20
+
+    def __init__(self, tile_bytes: int = DEFAULT_TILE_BYTES) -> None:
+        super().__init__()
+        if tile_bytes < 1024:
+            raise ValueError(f"tile_bytes must be >= 1024, got {tile_bytes}")
+        self._tile_bytes = tile_bytes
+        self._point_norms: np.ndarray | None = None
+
+    def start(self, points: np.ndarray, weights: np.ndarray) -> None:
+        super().start(points, weights)
+        self._point_norms = (points * points).sum(axis=1)
+
+    def assign(self, centroids: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        assert self._points is not None, "kernel used before start()"
+        started = time.perf_counter()
+        pts = self._points
+        norms = self._point_norms
+        assert norms is not None
+        n, k = pts.shape[0], centroids.shape[0]
+        tile_rows = max(64, min(n, self._tile_bytes // (8 * max(1, k))))
+        cent_norms = (centroids * centroids).sum(axis=1)
+        max_cent_norm = float(cent_norms.max())
+
+        assignments = np.empty(n, dtype=np.intp)
+        sq_dists = np.empty(n, dtype=np.float64)
+        exact_evals = 0
+        for lo in range(0, n, tile_rows):
+            hi = min(n, lo + tile_rows)
+            block = pts[lo:hi]
+            approx = block @ centroids.T
+            approx *= -2.0
+            approx += norms[lo:hi, None]
+            approx += cent_norms[None, :]
+            row_min = approx.min(axis=1)
+            tol = _TILE_TOL * (norms[lo:hi] + max_cent_norm) + _TILE_TOL
+            candidates = approx <= (row_min + tol)[:, None]
+            cand_counts = candidates.sum(axis=1)
+            block_assign = np.argmin(approx, axis=1)
+
+            # Common case: one candidate column — it contains every
+            # exactly-minimal column, so it *is* the exact argmin; only
+            # its exact distance needs evaluating (grouped by column).
+            single = np.flatnonzero(cand_counts == 1)
+            if single.size:
+                _grouped_assigned_sq(
+                    block,
+                    centroids,
+                    block_assign,
+                    rows=single,
+                    out=sq_dists[lo:hi],
+                )
+                exact_evals += single.size
+
+            # Near-ties: several columns within tolerance — evaluate each
+            # candidate exactly into an inf-filled row so the argmin
+            # reproduces the dense reference's first-index tie-break.
+            multi = np.flatnonzero(cand_counts > 1)
+            if multi.size:
+                exact = np.full((multi.size, k), np.inf)
+                sub_cand = candidates[multi]
+                for j in range(k):
+                    rows = np.flatnonzero(sub_cand[:, j])
+                    if rows.size:
+                        exact[rows, j] = _pair_sq_distances(
+                            block[multi[rows]], centroids[j]
+                        )
+                        exact_evals += rows.size
+                multi_assign = np.argmin(exact, axis=1)
+                block_assign[multi] = multi_assign
+                sq_dists[lo:hi][multi] = exact[
+                    np.arange(multi.size), multi_assign
+                ]
+            assignments[lo:hi] = block_assign
+
+        self.counters.distance_evals_computed += n * k + exact_evals
+        self.counters.assign_calls += 1
+        self.counters.assign_seconds += time.perf_counter() - started
+        return assignments, sq_dists
+
+
+_KERNELS: dict[str, type[LloydKernel]] = {
+    DenseKernel.name: DenseKernel,
+    HamerlyKernel.name: HamerlyKernel,
+    TiledKernel.name: TiledKernel,
+}
+
+
+def available_kernels() -> tuple[str, ...]:
+    """Names accepted by ``resolve_kernel`` (and the CLI/env knobs)."""
+    return tuple(sorted(_KERNELS))
+
+
+def resolve_kernel(kernel: "str | LloydKernel | None" = None) -> LloydKernel:
+    """Resolve a kernel selection to a fresh kernel instance.
+
+    Precedence: an explicit ``kernel`` argument (name or instance) wins,
+    then the ``REPRO_KMEANS_KERNEL`` environment variable, then
+    ``"dense"``.  Passing an instance hands it back as-is (the caller
+    owns its lifecycle).
+    """
+    if isinstance(kernel, LloydKernel):
+        return kernel
+    name = kernel if kernel is not None else os.environ.get(KERNEL_ENV_VAR)
+    if name is None or name == "":
+        name = DenseKernel.name
+    try:
+        return _KERNELS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown k-means kernel {name!r}; expected one of "
+            f"{', '.join(available_kernels())}"
+        ) from None
+
+
+def aggregate_weighted_sums(
+    weighted_points: np.ndarray, assignments: np.ndarray, k: int
+) -> np.ndarray:
+    """Per-cluster sums of weighted points via per-dimension ``bincount``.
+
+    Replaces the seed implementation's ``np.add.at`` scatter-add (which
+    falls back to an unbuffered per-element inner loop) with one
+    ``np.bincount`` per dimension.  Both accumulate sequentially in point
+    order, so the sums are bit-identical — ``bincount`` is just an order
+    of magnitude faster.
+    """
+    dim = weighted_points.shape[1]
+    sums = np.empty((k, dim), dtype=np.float64)
+    for column in range(dim):
+        sums[:, column] = np.bincount(
+            assignments, weights=weighted_points[:, column], minlength=k
+        )
+    return sums

@@ -13,6 +13,13 @@ Algorithm (paper Section 2):
 3. recompute each centroid as the weighted mean of its cluster,
 4. repeat until ``MSE(n-1) - MSE(n) <= tol``.
 
+The assignment step (2) is delegated to a pluggable backend from
+:mod:`repro.core.kernels` — dense reference, Hamerly bounds pruning, or
+tiled matmul expansion — selected via the ``kernel=`` argument or the
+``REPRO_KMEANS_KERNEL`` environment variable.  All backends are
+bit-identical in every output (see the kernels module docstring), so the
+choice is purely a performance knob.
+
 Empty clusters — which the paper does not discuss but any fixed-k
 implementation must handle — are repaired by re-seeding the empty centroid
 to the in-data point currently farthest from its assigned centroid, a
@@ -24,8 +31,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion, MseDeltaCriterion
+from repro.core.kernels import (
+    LloydKernel,
+    _pair_sq_distances,
+    aggregate_weighted_sums,
+    resolve_kernel,
+)
 from repro.core.model import KMeansResult, as_points, as_weights
-from repro.core.quality import pairwise_sq_distances
 
 __all__ = ["lloyd", "DEFAULT_MAX_ITER"]
 
@@ -45,8 +57,12 @@ def _repair_empty_clusters(
     """Re-seed empty centroids to the worst-represented points (in place).
 
     Each empty centroid takes the positively-weighted point with the largest
-    current squared distance; that point's distance is then zeroed so that
-    several empty clusters pick distinct points.
+    current squared distance.  After every reseed the penalty array is
+    lowered to account for the just-placed centroid
+    (``penalty = min(penalty, d²(points, donor))``): a point sitting next to
+    a fresh donor is no longer badly represented, so two empty centroids can
+    no longer land on near-duplicate donors when the zeroed donor happened
+    to be the unique maximum.
     """
     penalty = sq_dists * (weights > 0)
     for centroid_index in empty:
@@ -57,6 +73,12 @@ def _repair_empty_clusters(
             continue
         centroids[centroid_index] = points[donor]
         assignments[donor] = centroid_index
+        # The reseeded centroid sits exactly on the donor point, so every
+        # point's distance to its nearest centroid is now at most its
+        # distance to the donor.
+        np.minimum(
+            penalty, _pair_sq_distances(points, points[donor]), out=penalty
+        )
         penalty[donor] = 0.0
 
 
@@ -66,6 +88,8 @@ def lloyd(
     weights: np.ndarray | None = None,
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    kernel: "str | LloydKernel | None" = None,
+    abandon_sse: float | None = None,
 ) -> KMeansResult:
     """Run weighted Lloyd k-means from the given seeds.
 
@@ -78,10 +102,25 @@ def lloyd(
         criterion: convergence test; defaults to the paper's
             ``MSE(n-1) - MSE(n) <= 1e-9``.
         max_iter: hard iteration cap.
+        kernel: assignment backend — a name (``"dense"``, ``"hamerly"``,
+            ``"tiled"``), a :class:`~repro.core.kernels.LloydKernel`
+            instance, or ``None`` to consult ``REPRO_KMEANS_KERNEL`` and
+            fall back to the dense reference.  All backends produce
+            bit-identical results.
+        abandon_sse: optional incumbent SSE for restart early-abandoning.
+            When the run's optimistically-projected final SSE (current SSE
+            minus the latest per-iteration improvement times the remaining
+            iterations) still exceeds this value, the run stops early with
+            ``result.abandoned`` set.  This is a heuristic (Lloyd's SSE
+            improvements shrink over time, so the linear projection is a
+            lower bound in practice, not a theorem); abandoned runs always
+            have ``sse`` above the incumbent at the abandoning iteration
+            and are never selected by ``best_of_restarts``.
 
     Returns:
         A :class:`~repro.core.model.KMeansResult`.  ``result.mse`` is the
-        weighted mean square error at the final assignment.
+        weighted mean square error at the final assignment;
+        ``result.counters`` carries the kernel's instrumentation.
     """
     pts = as_points(points)
     cents = as_points(seeds).copy()
@@ -99,49 +138,63 @@ def lloyd(
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
 
-    prev_mse = np.inf
-    assignments = np.zeros(n, dtype=np.intp)
-    sq_dists = np.zeros(n, dtype=np.float64)
+    backend = resolve_kernel(kernel)
+    backend.start(pts, wts)
+
+    # Hoisted out of the loop: the weighted points never change.
+    weighted_pts = pts * wts[:, None]
+
+    prev_sse = np.inf
     iterations = 0
     converged = False
+    abandoned = False
 
     for iterations in range(1, max_iter + 1):
-        d2 = pairwise_sq_distances(pts, cents)
-        assignments = np.argmin(d2, axis=1)
-        sq_dists = d2[np.arange(n), assignments]
+        assignments, sq_dists = backend.assign(cents)
 
         cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
         empty = np.flatnonzero(cluster_mass == 0)
-        if empty.size:
+        repaired = bool(empty.size)
+        if repaired:
             _repair_empty_clusters(cents, pts, wts, assignments, sq_dists, empty)
-            d2 = pairwise_sq_distances(pts, cents)
-            assignments = np.argmin(d2, axis=1)
-            sq_dists = d2[np.arange(n), assignments]
+            # A centroid teleported; cached kernel bounds are void.
+            backend.invalidate()
+            assignments, sq_dists = backend.assign(cents)
             cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
 
         # Weighted centroid recalculation: mu_j = sum(w_i x_i) / sum(w_i).
-        weighted_pts = pts * wts[:, None]
-        sums = np.zeros((k, dim), dtype=np.float64)
-        np.add.at(sums, assignments, weighted_pts)
+        sums = aggregate_weighted_sums(weighted_pts, assignments, k)
         occupied = cluster_mass > 0
         new_cents = cents.copy()
         new_cents[occupied] = sums[occupied] / cluster_mass[occupied, None]
 
         shift = float(np.sqrt(((new_cents - cents) ** 2).sum(axis=1)).max())
+        backend.notify_update(cents, new_cents)
         cents = new_cents
 
-        cur_mse = float(np.dot(wts, sq_dists)) / total_mass
-        if test.converged(prev_mse, cur_mse, shift):
+        cur_sse = float(np.dot(wts, sq_dists))
+        cur_mse = cur_sse / total_mass
+        if test.converged(prev_sse / total_mass, cur_mse, shift):
             converged = True
-            prev_mse = cur_mse
+            prev_sse = cur_sse
             break
-        prev_mse = cur_mse
+        if (
+            abandon_sse is not None
+            and not repaired
+            and np.isfinite(prev_sse)
+            and cur_sse > abandon_sse
+        ):
+            delta = max(prev_sse - cur_sse, 0.0)
+            projected = cur_sse - delta * (max_iter - iterations)
+            if projected > abandon_sse:
+                abandoned = True
+                prev_sse = cur_sse
+                break
+        prev_sse = cur_sse
 
     # Final assignment against the last recalculated centroids so that the
     # reported MSE matches the returned model exactly.
-    d2 = pairwise_sq_distances(pts, cents)
-    assignments = np.argmin(d2, axis=1)
-    sq_dists = d2[np.arange(n), assignments]
+    assignments, sq_dists = backend.assign(cents)
     cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
     final_sse = float(np.dot(wts, sq_dists))
 
@@ -153,4 +206,7 @@ def lloyd(
         mse=final_sse / total_mass,
         iterations=iterations,
         converged=converged,
+        kernel=backend.name,
+        counters=backend.counters,
+        abandoned=abandoned,
     )

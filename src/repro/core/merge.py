@@ -26,6 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
+from repro.core.kernels import KernelCounters, LloydKernel
 from repro.core.kmeans import DEFAULT_MAX_ITER, lloyd
 from repro.core.model import KMeansResult, WeightedCentroidSet
 from repro.core.seeding import largest_weight_seeds, random_seeds
@@ -43,12 +44,14 @@ class MergeResult:
             centroids* (the paper's ``E_pm`` normalised by weight mass).
         iterations: Lloyd iterations used by the merge k-means.
         seconds: wall-clock spent merging.
+        counters: kernel instrumentation aggregated over the merge runs.
     """
 
     model: WeightedCentroidSet
     mse: float
     iterations: int
     seconds: float
+    counters: KernelCounters | None = None
 
 
 def _merge_once(
@@ -56,6 +59,7 @@ def _merge_once(
     k: int,
     criterion: ConvergenceCriterion | None,
     max_iter: int,
+    kernel: "str | LloydKernel | None" = None,
 ) -> KMeansResult:
     """Run one weighted k-means over pooled centroids, seeded by weight."""
     seeds = largest_weight_seeds(pooled.centroids, k, pooled.weights)
@@ -65,6 +69,7 @@ def _merge_once(
         weights=pooled.weights,
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
     )
 
 
@@ -75,6 +80,7 @@ def merge_kmeans(
     max_iter: int = DEFAULT_MAX_ITER,
     extra_random_restarts: int = 0,
     rng: np.random.Generator | None = None,
+    kernel: "str | LloydKernel | None" = None,
 ) -> MergeResult:
     """Collective merge: pool all partials, weighted k-means once.
 
@@ -91,6 +97,8 @@ def merge_kmeans(
             10+ overlapping chunks), and a few random restarts repair
             those collapses; 0 reproduces the paper exactly.
         rng: randomness for the extra restarts (fresh default if needed).
+        kernel: assignment backend forwarded to every merge k-means run
+            (all backends are bit-identical; performance knob only).
 
     Returns:
         A :class:`MergeResult`; the model's weights sum to the total number
@@ -107,8 +115,10 @@ def merge_kmeans(
         # already the best k'-cluster model of itself.
         elapsed = time.perf_counter() - start
         return MergeResult(model=pooled, mse=0.0, iterations=0, seconds=elapsed)
-    best = _merge_once(pooled, k, criterion, max_iter)
+    counters = KernelCounters()
+    best = _merge_once(pooled, k, criterion, max_iter, kernel=kernel)
     iterations = best.iterations
+    counters.merge(best.counters)
     if extra_random_restarts:
         generator = rng if rng is not None else np.random.default_rng()
         for __ in range(extra_random_restarts):
@@ -119,8 +129,10 @@ def merge_kmeans(
                 weights=pooled.weights,
                 criterion=criterion,
                 max_iter=max_iter,
+                kernel=kernel,
             )
             iterations += candidate.iterations
+            counters.merge(candidate.counters)
             if candidate.mse < best.mse:
                 best = candidate
     elapsed = time.perf_counter() - start
@@ -129,6 +141,7 @@ def merge_kmeans(
         mse=best.mse,
         iterations=iterations,
         seconds=elapsed,
+        counters=counters,
     )
 
 
@@ -137,6 +150,7 @@ def incremental_merge_kmeans(
     k: int,
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    kernel: "str | LloydKernel | None" = None,
 ) -> MergeResult:
     """Incremental merge: fold each partition into a running summary.
 
@@ -152,16 +166,22 @@ def incremental_merge_kmeans(
     running = partials[0]
     iterations = 0
     last_mse = 0.0
+    counters = KernelCounters()
     for incoming in partials[1:]:
         pooled = WeightedCentroidSet.concatenate([running, incoming])
         if pooled.k <= k:
             running = pooled
             continue
-        result = _merge_once(pooled, k, criterion, max_iter)
+        result = _merge_once(pooled, k, criterion, max_iter, kernel=kernel)
         iterations += result.iterations
         last_mse = result.mse
+        counters.merge(result.counters)
         running = result.to_weighted_set(source="incremental-merge")
     elapsed = time.perf_counter() - start
     return MergeResult(
-        model=running, mse=last_mse, iterations=iterations, seconds=elapsed
+        model=running,
+        mse=last_mse,
+        iterations=iterations,
+        seconds=elapsed,
+        counters=counters,
     )

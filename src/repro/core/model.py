@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.kernels import KernelCounters
+
 __all__ = [
     "WeightedCentroidSet",
     "KMeansResult",
@@ -135,6 +137,13 @@ class KMeansResult:
         iterations: number of Lloyd iterations executed.
         converged: whether the MSE-delta criterion was met (as opposed to
             hitting the iteration cap).
+        kernel: name of the assignment backend that produced the result
+            (all backends are bit-identical; this is provenance only).
+        counters: the kernel's instrumentation (distance evaluations
+            computed/skipped, bound-check hits, assignment wall time).
+        abandoned: whether the run was cut short by the restart
+            early-abandon heuristic (its SSE projection could not beat the
+            incumbent best).
     """
 
     centroids: np.ndarray
@@ -144,6 +153,9 @@ class KMeansResult:
     mse: float
     iterations: int
     converged: bool
+    kernel: str = "dense"
+    counters: KernelCounters | None = None
+    abandoned: bool = False
 
     @property
     def k(self) -> int:

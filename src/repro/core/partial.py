@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
+from repro.core.kernels import KernelCounters, LloydKernel
 from repro.core.kmeans import DEFAULT_MAX_ITER
 from repro.core.model import WeightedCentroidSet, as_points
 from repro.core.restarts import best_of_restarts
@@ -32,6 +33,7 @@ class PartialResult:
         iterations: total Lloyd iterations across restarts (cost proxy).
         n_points: number of points in the partition.
         seconds: wall-clock spent clustering the partition.
+        counters: kernel instrumentation aggregated across the restarts.
     """
 
     summary: WeightedCentroidSet
@@ -39,6 +41,7 @@ class PartialResult:
     iterations: int
     n_points: int
     seconds: float
+    counters: KernelCounters | None = None
 
 
 def partial_kmeans(
@@ -50,6 +53,8 @@ def partial_kmeans(
     seeding: str = "random",
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    kernel: "str | LloydKernel | None" = None,
+    early_abandon: bool = False,
 ) -> PartialResult:
     """Cluster one partition and summarise it as weighted centroids.
 
@@ -62,6 +67,10 @@ def partial_kmeans(
         seeding: seed strategy for the restarts (paper: ``"random"``).
         criterion: convergence criterion (paper default when ``None``).
         max_iter: per-run iteration cap.
+        kernel: assignment backend name (``"dense"``/``"hamerly"``/
+            ``"tiled"``) forwarded to every restart; all backends are
+            bit-identical.
+        early_abandon: forward the restart early-abandon heuristic.
 
     Returns:
         A :class:`PartialResult` whose ``summary`` weights sum to ``m``
@@ -77,6 +86,8 @@ def partial_kmeans(
         seeding=seeding,
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
+        early_abandon=early_abandon,
     )
     elapsed = time.perf_counter() - start
     summary = report.best.to_weighted_set(source=source)
@@ -86,4 +97,5 @@ def partial_kmeans(
         iterations=report.total_iterations,
         n_points=pts.shape[0],
         seconds=elapsed,
+        counters=report.counters,
     )

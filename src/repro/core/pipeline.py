@@ -86,6 +86,12 @@ class PartialMergeKMeans:
         criterion: convergence criterion (paper's 1e-9 MSE delta when
             ``None``).
         max_iter: per-run Lloyd iteration cap.
+        kernel: Lloyd assignment backend (``"dense"``/``"hamerly"``/
+            ``"tiled"``) used by partial and merge steps alike; ``None``
+            consults ``REPRO_KMEANS_KERNEL``.  All backends are
+            bit-identical — this is a performance knob only.
+        early_abandon: terminate restarts whose projected SSE cannot beat
+            the incumbent best (heuristic; default off).
         seed: seed for the internal random generator.
 
     Example:
@@ -110,6 +116,8 @@ class PartialMergeKMeans:
         seeding: str = "random",
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
+        kernel: str | None = None,
+        early_abandon: bool = False,
         seed: int | None = None,
     ) -> None:
         if k < 1:
@@ -135,6 +143,8 @@ class PartialMergeKMeans:
         self.seeding = seeding
         self.criterion = criterion
         self.max_iter = max_iter
+        self.kernel = kernel
+        self.early_abandon = early_abandon
         self._rng = np.random.default_rng(seed)
 
     def fit(self, points: np.ndarray) -> PartialMergeReport:
@@ -219,6 +229,8 @@ class PartialMergeKMeans:
                 seeding=self.seeding,
                 criterion=self.criterion,
                 max_iter=self.max_iter,
+                kernel=self.kernel,
+                early_abandon=self.early_abandon,
             )
 
         if self.max_workers == 1 or len(jobs) == 1:
@@ -231,7 +243,11 @@ class PartialMergeKMeans:
         summaries = [p.summary for p in partials]
         if self.merge_mode == "incremental":
             return incremental_merge_kmeans(
-                summaries, self.k, criterion=self.criterion, max_iter=self.max_iter
+                summaries,
+                self.k,
+                criterion=self.criterion,
+                max_iter=self.max_iter,
+                kernel=self.kernel,
             )
         return merge_kmeans(
             summaries,
@@ -240,4 +256,5 @@ class PartialMergeKMeans:
             max_iter=self.max_iter,
             extra_random_restarts=self.merge_restarts,
             rng=self._rng,
+            kernel=self.kernel,
         )

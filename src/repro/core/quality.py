@@ -26,9 +26,32 @@ __all__ = [
 ]
 
 
+def _as_cdist_operand(array: np.ndarray) -> np.ndarray:
+    """Coerce an operand to C-contiguous float64 (no copy when already so).
+
+    ``cdist`` silently upcasts float32 and copies non-contiguous inputs
+    internally; coercing explicitly keeps the dtype/layout contract the
+    same across every kernel (results for float32 or strided views are
+    bit-identical to coercing first, by construction rather than by
+    implementation accident).
+    """
+    arr = np.ascontiguousarray(array, dtype=np.float64)
+    if arr.ndim == 1:
+        arr = arr.reshape(-1, 1)
+    return arr
+
+
 def pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distances, shape ``(n_points, n_centroids)``."""
-    return cdist(points, centroids, metric="sqeuclidean")
+    """Squared Euclidean distances, shape ``(n_points, n_centroids)``.
+
+    Inputs of any float dtype or memory layout are accepted; both are
+    coerced to C-contiguous float64 before the distance computation.
+    """
+    return cdist(
+        _as_cdist_operand(points),
+        _as_cdist_operand(centroids),
+        metric="sqeuclidean",
+    )
 
 
 def assign_to_nearest(

@@ -183,6 +183,7 @@ class JournalWriter:
                 "source": message.summary.source,
                 "partial_seconds": message.partial_seconds,
                 "partial_iterations": message.partial_iterations,
+                "kernel_counters": message.kernel_counters,
             }
         )
         self.partition_records += 1
@@ -304,6 +305,7 @@ def _decode_record(record: Mapping[str, Any], state: JournalState) -> None:
             n_partitions=int(record.get("n_partitions", 0)),
             partial_seconds=float(record.get("partial_seconds", 0.0)),
             partial_iterations=int(record.get("partial_iterations", 0)),
+            kernel_counters=record.get("kernel_counters"),
         )
         state.partitions.setdefault(message.cell_id, {})[
             message.partition

@@ -479,3 +479,6 @@ class Executor:
         incomplete = getattr(sink, "incomplete_cells", None)
         if incomplete:
             metrics.incomplete_cells.extend(incomplete)
+        kernel_counters = getattr(sink, "kernel_counters", None)
+        if kernel_counters:
+            metrics.kernel_counters.update(kernel_counters)

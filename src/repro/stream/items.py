@@ -47,7 +47,15 @@ class DataChunk:
 
 @dataclass(frozen=True)
 class CentroidMessage:
-    """Weighted centroids of one partition, sent to the merge operator."""
+    """Weighted centroids of one partition, sent to the merge operator.
+
+    ``kernel_counters`` carries the partial step's kernel instrumentation
+    as a plain JSON-safe dict (see
+    :meth:`repro.core.kernels.KernelCounters.as_dict`) so it survives
+    pickling to process-backend workers and journal replay; ``None`` when
+    the producing run recorded none (e.g. a partition replayed from a
+    journal written before the field existed).
+    """
 
     cell_id: str
     partition: int
@@ -55,6 +63,7 @@ class CentroidMessage:
     n_partitions: int = 0
     partial_seconds: float = 0.0
     partial_iterations: int = 0
+    kernel_counters: dict | None = None
 
 
 @dataclass(frozen=True)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
+from repro.core.kernels import merge_counter_dicts
 from repro.core.kmeans import DEFAULT_MAX_ITER
 from repro.core.merge import merge_kmeans
 from repro.core.model import ClusterModel, as_points
@@ -150,6 +151,7 @@ class PartialKMeansOperator(Transform):
         seeding: str = "random",
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
+        kernel: str | None = None,
         seed_sequence: np.random.SeedSequence | None = None,
         name: str = "partial",
     ) -> None:
@@ -161,6 +163,7 @@ class PartialKMeansOperator(Transform):
         self.seeding = seeding
         self.criterion = criterion
         self.max_iter = max_iter
+        self.kernel = kernel
         self._seed_sequence = (
             seed_sequence if seed_sequence is not None else np.random.SeedSequence()
         )
@@ -172,6 +175,7 @@ class PartialKMeansOperator(Transform):
             seeding=self.seeding,
             criterion=self.criterion,
             max_iter=self.max_iter,
+            kernel=self.kernel,
             seed_sequence=self._seed_sequence,
             name=self.name,
         )
@@ -209,6 +213,7 @@ class PartialKMeansOperator(Transform):
             seeding=self.seeding,
             criterion=self.criterion,
             max_iter=self.max_iter,
+            kernel=self.kernel,
         )
         yield CentroidMessage(
             cell_id=item.cell_id,
@@ -217,6 +222,9 @@ class PartialKMeansOperator(Transform):
             n_partitions=item.n_partitions,
             partial_seconds=result.seconds,
             partial_iterations=result.iterations,
+            kernel_counters=(
+                result.counters.as_dict() if result.counters else None
+            ),
         )
 
     def to_spec(self) -> "PartialKMeansSpec":
@@ -228,6 +236,7 @@ class PartialKMeansOperator(Transform):
             seeding=self.seeding,
             criterion=self.criterion,
             max_iter=self.max_iter,
+            kernel=self.kernel,
             entropy=base.entropy,
             spawn_key=tuple(base.spawn_key),
             name=self.name,
@@ -253,6 +262,7 @@ class PartialKMeansSpec:
     entropy: int
     spawn_key: tuple[int, ...]
     name: str
+    kernel: str | None = None
 
     def build(self) -> PartialKMeansOperator:
         return PartialKMeansOperator(
@@ -261,6 +271,7 @@ class PartialKMeansSpec:
             seeding=self.seeding,
             criterion=self.criterion,
             max_iter=self.max_iter,
+            kernel=self.kernel,
             seed_sequence=np.random.SeedSequence(
                 entropy=self.entropy, spawn_key=self.spawn_key
             ),
@@ -292,6 +303,7 @@ class MergeKMeansSink(Sink):
         k: int,
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
+        kernel: str | None = None,
         evaluate_on: Mapping[str, np.ndarray] | None = None,
         journal: "JournalWriter | None" = None,
         name: str = "merge",
@@ -300,6 +312,7 @@ class MergeKMeansSink(Sink):
         self.k = k
         self.criterion = criterion
         self.max_iter = max_iter
+        self.kernel = kernel
         self._evaluate_on = dict(evaluate_on or {})
         self._journal = journal
         self._pending: dict[str, list[CentroidMessage]] = {}
@@ -309,6 +322,12 @@ class MergeKMeansSink(Sink):
         #: upstream), in finalisation order; the executor copies this
         #: into the sink's :class:`~repro.stream.metrics.OperatorMetrics`.
         self.incomplete_cells: list[str] = []
+        #: Kernel instrumentation aggregated across the run, keyed by
+        #: pipeline stage (``"partial"`` counters arrive on the centroid
+        #: messages — surviving the process backend for free — and
+        #: ``"merge"`` counters come from the sink's own merge runs).
+        #: The executor copies this into the sink's ``OperatorMetrics``.
+        self.kernel_counters: dict[str, dict] = {}
 
     def preload(self, messages: Iterable[CentroidMessage]) -> None:
         """Replay journaled partition summaries without re-journaling them.
@@ -380,8 +399,20 @@ class MergeKMeansSink(Sink):
             self.k,
             criterion=self.criterion,
             max_iter=self.max_iter,
+            kernel=self.kernel,
         )
         total = time.perf_counter() - start
+        for message in messages:
+            if message.kernel_counters:
+                merge_counter_dicts(
+                    self.kernel_counters.setdefault("partial", {}),
+                    message.kernel_counters,
+                )
+        if merged.counters is not None and merged.counters.assign_calls:
+            merge_counter_dicts(
+                self.kernel_counters.setdefault("merge", {}),
+                merged.counters.as_dict(),
+            )
         raw = self._evaluate_on.get(cell_id)
         final_mse = (
             evaluate_mse(raw, merged.model.centroids) if raw is not None else merged.mse
@@ -426,6 +457,7 @@ def build_partial_merge_graph(
     evaluate_against_raw: bool = True,
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    kernel: str | None = None,
 ) -> DataflowGraph:
     """Assemble the scan → partial → merge dataflow for ``cells``."""
     graph = DataflowGraph()
@@ -438,12 +470,14 @@ def build_partial_merge_graph(
         restarts=restarts,
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
         seed_sequence=seed_sequence,
     )
     merge = MergeKMeansSink(
         k=k,
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
         evaluate_on=cells if evaluate_against_raw else None,
     )
     graph.add(source, cost_hint=1.0)
@@ -470,6 +504,7 @@ def run_partial_merge_stream(
     retry_policy: RetryPolicy | None = None,
     backend: str | None = None,
     workers: int | None = None,
+    kernel: str | None = None,
 ) -> tuple[dict[str, ClusterModel], ExecutionResult]:
     """Cluster every grid cell with the streamed partial/merge pipeline.
 
@@ -499,6 +534,11 @@ def run_partial_merge_stream(
         workers: shorthand for ``partial_clones`` aimed at the process
             backend (one worker process per clone); ignored when
             ``partial_clones`` is given explicitly.
+        kernel: Lloyd assignment backend for the partial and merge stages
+            (``"dense"``/``"hamerly"``/``"tiled"``); ``None`` consults the
+            ``REPRO_KMEANS_KERNEL`` environment variable.  All kernels are
+            bit-identical, so the flag never changes results — counters in
+            the execution metrics show what it saved.
 
     Returns:
         ``(models, execution_result)`` where ``models`` maps cell id to
@@ -518,6 +558,7 @@ def run_partial_merge_stream(
         seed=seed,
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
     )
     for name, policy in (supervision or {}).items():
         graph.set_supervision(name, policy)

@@ -12,6 +12,7 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.core.kernels import merge_counter_dicts
 from repro.stream.queues import QueueStats
 
 __all__ = [
@@ -46,6 +47,11 @@ class OperatorMetrics:
             moved aside under the ``quarantine`` corruption policy.
         incomplete_cells: cell ids a sink finalised with partitions
             missing (a ``degrade`` drop upstream), in finalisation order.
+        kernel_counters: Lloyd-kernel instrumentation per pipeline stage
+            (``{"partial": {...}, "merge": {...}}``; see
+            :class:`repro.core.kernels.KernelCounters`), copied from the
+            sink when the run finishes.  Empty for operators that run no
+            k-means.
     """
 
     name: str
@@ -60,6 +66,7 @@ class OperatorMetrics:
     lost_items: list[str] = field(default_factory=list)
     quarantined_files: list[str] = field(default_factory=list)
     incomplete_cells: list[str] = field(default_factory=list)
+    kernel_counters: dict = field(default_factory=dict)
 
     @property
     def wall_seconds(self) -> float:
@@ -228,6 +235,20 @@ class ExecutionMetrics:
         return sorted(incomplete)
 
     @property
+    def kernel_counters(self) -> dict:
+        """Kernel instrumentation merged across operators, per stage.
+
+        Keys are pipeline stages (``"partial"``, ``"merge"``); values are
+        :meth:`repro.core.kernels.KernelCounters.as_dict` payloads with
+        numeric fields summed across all operators that reported them.
+        """
+        merged: dict[str, dict] = {}
+        for op in self.operators:
+            for stage, counters in op.kernel_counters.items():
+                merge_counter_dicts(merged.setdefault(stage, {}), counters)
+        return merged
+
+    @property
     def worker_busy_seconds(self) -> float:
         """In-worker compute time summed over all process workers."""
         return sum(worker.busy_seconds for worker in self.workers)
@@ -286,6 +307,16 @@ class ExecutionMetrics:
                     f"shm={worker.shm_bytes / 1e6:.1f}MB "
                     f"spawn={worker.spawn_seconds:.3f}s"
                 )
+        for stage, counters in sorted(self.kernel_counters.items()):
+            computed = counters.get("distance_evals_computed", 0)
+            skipped = counters.get("distance_evals_skipped", 0)
+            total = computed + skipped
+            saved = (skipped / total) if total else 0.0
+            lines.append(
+                f"  kernel[{stage}]: {counters.get('kernel', 'dense')} "
+                f"computed={computed} skipped={skipped} ({saved:.0%} saved) "
+                f"assign={counters.get('assign_seconds', 0.0):.3f}s"
+            )
         for stall in self.stalls:
             lines.append(
                 f"  stall: no progress for {stall.waited_seconds:.1f}s; "

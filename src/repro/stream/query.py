@@ -34,6 +34,7 @@ from typing import Any, Iterable, Mapping
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
+from repro.core.kernels import available_kernels
 from repro.core.kmeans import DEFAULT_MAX_ITER
 from repro.stream.checkpoint import (
     CheckpointError,
@@ -99,6 +100,7 @@ class _QueryState:
     quarantine_dir: str | None = None
     stall_timeout: float | None = None
     backend: str | None = None
+    kernel: str | None = None
 
 
 class Query:
@@ -223,6 +225,25 @@ class Query:
             if workers < 1:
                 raise QueryError(f"workers must be >= 1, got {workers}")
             self._state.partial_clones = workers
+        return self
+
+    def with_kernel(self, kernel: str) -> "Query":
+        """Choose the Lloyd assignment kernel for all k-means stages.
+
+        Args:
+            kernel: ``"dense"`` (reference), ``"hamerly"`` (bounds-based
+                pruning) or ``"tiled"`` (blocked matmul expansion).  All
+                kernels are bit-identical in every output, so this is a
+                pure performance knob — which is also why the checkpoint
+                manifest does not record it: a journaled run may resume
+                under a different kernel and still produce the same bits.
+        """
+        if kernel not in available_kernels():
+            raise QueryError(
+                f"unknown kernel {kernel!r}; expected one of "
+                f"{', '.join(available_kernels())}"
+            )
+        self._state.kernel = kernel
         return self
 
     def with_supervision(
@@ -365,12 +386,14 @@ class Query:
             seeding=cluster["seeding"],
             criterion=cluster["criterion"],
             max_iter=cluster["max_iter"],
+            kernel=state.kernel,
             seed_sequence=seed_sequence,
         )
         sink = MergeKMeansSink(
             k=merge_k,
             criterion=merge["criterion"],
             max_iter=merge["max_iter"],
+            kernel=state.kernel,
             evaluate_on=evaluate_on,
             journal=journal,
         )
@@ -403,7 +426,8 @@ class Query:
         printer(f"  -> {partition_text}")
         printer(
             f"  -> partial_kmeans(k={cluster.get('k')}, "
-            f"restarts={cluster.get('restarts')})"
+            f"restarts={cluster.get('restarts')}, "
+            f"kernel={state.kernel or 'dense'})"
         )
         printer(f"  -> merge_kmeans(k={merge_k})")
         graph = self._build_graph()
@@ -456,7 +480,9 @@ class Query:
         quarantine policy they are moved aside mid-run, so a resume must
         see the same inventory an uninterrupted run would have processed.
         The directory path itself is also omitted — the inventory
-        identifies the inputs by content, not location.
+        identifies the inputs by content, not location.  The Lloyd kernel
+        is deliberately not recorded either: kernels are bit-identical,
+        so resuming a journal under a different kernel is valid.
         """
         state = self._state
         cluster = dict(state.cluster_args or {})

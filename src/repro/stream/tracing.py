@@ -50,9 +50,11 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
                 "lost_items": list(op.lost_items),
                 "quarantined_files": list(op.quarantined_files),
                 "incomplete_cells": list(op.incomplete_cells),
+                "kernel_counters": dict(op.kernel_counters),
             }
             for op in metrics.operators
         ],
+        "kernel_counters": metrics.kernel_counters,
         "resilience": {
             "total_retries": metrics.total_retries,
             "total_restarts": metrics.total_restarts,

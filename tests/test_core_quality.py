@@ -120,3 +120,71 @@ class TestDaviesBouldin:
     def test_single_occupied_cluster_scores_zero(self):
         points = np.ones((10, 2))
         assert davies_bouldin(points, np.array([[1.0, 1.0], [50.0, 50.0]])) == 0.0
+
+
+class TestDtypeAndLayoutHandling:
+    """assign_to_nearest / pairwise_sq_distances coerce layout and dtype.
+
+    The cdist path historically upcast float32 and copied non-contiguous
+    inputs silently; the explicit coercion makes that contract stated and
+    uniform across every Lloyd kernel.
+    """
+
+    def _reference(self, rng):
+        points = rng.normal(size=(64, 5))
+        centroids = rng.normal(size=(7, 5))
+        return points, centroids
+
+    def test_float32_inputs_match_float64(self):
+        rng = np.random.default_rng(31)
+        points, centroids = self._reference(rng)
+        ref_assign, ref_sq = assign_to_nearest(points, centroids)
+        f32_assign, f32_sq = assign_to_nearest(
+            points.astype(np.float32), centroids.astype(np.float32)
+        )
+        # The float32 views are coerced up front, so the results are
+        # bit-identical to converting to float64 first.
+        exp_assign, exp_sq = assign_to_nearest(
+            points.astype(np.float32).astype(np.float64),
+            centroids.astype(np.float32).astype(np.float64),
+        )
+        assert f32_assign.tobytes() == exp_assign.tobytes()
+        assert f32_sq.tobytes() == exp_sq.tobytes()
+        assert f32_sq.dtype == np.float64
+        # And close (not identical: the cast rounds) to the f64 originals.
+        np.testing.assert_allclose(f32_sq, ref_sq, rtol=1e-5)
+        assert (f32_assign == ref_assign).mean() > 0.9
+
+    def test_non_contiguous_inputs_match_contiguous(self):
+        rng = np.random.default_rng(32)
+        points, centroids = self._reference(rng)
+        # Fortran order, sliced views, and reversed strides all coerce.
+        for view in (
+            np.asfortranarray(points),
+            points[::2],
+            points[:, ::1][::-1][::-1],
+            np.ascontiguousarray(points)[np.arange(64)],
+        ):
+            expected = pairwise_sq_distances(
+                np.ascontiguousarray(view), centroids
+            )
+            got = pairwise_sq_distances(view, np.asfortranarray(centroids))
+            assert got.tobytes() == expected.tobytes()
+
+    def test_all_kernels_accept_float32_and_strided_inputs(self):
+        from repro.core.kmeans import lloyd
+
+        rng = np.random.default_rng(33)
+        base = rng.normal(size=(300, 4)).astype(np.float32)
+        strided = base[::2]  # non-contiguous float32 view
+        seeds = strided[:6]
+        results = {
+            name: lloyd(strided, seeds, kernel=name)
+            for name in ("dense", "hamerly", "tiled")
+        }
+        ref = results["dense"]
+        assert ref.centroids.dtype == np.float64
+        for name, result in results.items():
+            assert result.assignments.tobytes() == ref.assignments.tobytes(), name
+            assert result.centroids.tobytes() == ref.centroids.tobytes(), name
+            assert result.sse == ref.sse, name
