@@ -235,6 +235,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = query.with_watchdog(args.stall_timeout)
     if args.checkpoint_dir:
         query = query.checkpoint(args.checkpoint_dir, resume=args.resume)
+    if args.prefix_query_every:
+        query = query.with_prefix_queries(
+            every=args.prefix_query_every, window=args.window or None
+        )
 
     query.explain()
     if args.explain_only:
@@ -246,6 +250,21 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{cell_key}: k={model.k} partitions={model.partitions} "
             f"mass={model.weights.sum():.0f} t={model.total_seconds:.3f}s"
         )
+    if result.prefix_queries:
+        print()
+        for pq in result.prefix_queries:
+            span = (
+                f"last {pq.partitions}"
+                if pq.start
+                else f"first {pq.partitions}"
+            )
+            print(
+                f"prefix[{pq.cell_id}@{pq.upto}]: {span} chunk(s) "
+                f"k={pq.model.k} mass={pq.model.total_weight:.0f} "
+                f"nodes={pq.nodes_reused} "
+                f"t={pq.seconds * 1e3:.2f}ms"
+                + (" (cached)" if pq.cached else "")
+            )
     print()
     print("\n".join(result.execution.metrics.summary_lines()))
     if args.trace_json:
@@ -471,6 +490,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="fail the run if no operator makes progress for this many "
         "seconds (0 disables the watchdog)",
+    )
+    p_query.add_argument(
+        "--prefix-query-every",
+        type=int,
+        default=0,
+        help="maintain a coreset tree per cell and print a mid-stream "
+        "clustering every this-many partitions (0 disables; final "
+        "models are unchanged)",
+    )
+    p_query.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        help="with --prefix-query-every, cluster only the last this-many "
+        "chunks per query instead of the whole prefix (0 = whole prefix)",
     )
     p_query.set_defaults(fn=_cmd_query)
 

@@ -24,6 +24,13 @@ from repro.stream.checkpoint import (
     RecoveryManager,
     read_journal,
 )
+from repro.stream.coreset import (
+    CoresetNode,
+    CoresetTree,
+    CoresetTreeError,
+    CoresetTreeSink,
+    PrefixQuery,
+)
 from repro.stream.distributed import (
     ClusterSpec,
     DistributedSimulation,
@@ -129,6 +136,11 @@ __all__ = [
     "DataChunk",
     "ModelMessage",
     "Watermark",
+    "CoresetNode",
+    "CoresetTree",
+    "CoresetTreeError",
+    "CoresetTreeSink",
+    "PrefixQuery",
     "GridCellChunkSource",
     "MergeKMeansSink",
     "PartialKMeansOperator",

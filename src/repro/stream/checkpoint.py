@@ -31,11 +31,14 @@ Journal layout (little-endian)::
     payload  length bytes of JSON (record kind in the "kind" key)
 
 Record kinds: ``manifest`` (config + seed + input inventory), ``partition``
-(one partition's weighted centroids), ``cell`` (one cell's merged model)
-and ``complete`` (run finished).  Float arrays are encoded as base64 of
-their little-endian float64 bytes, so replayed centroids are *bit
-identical* to the originals — JSON float round-tripping never touches
-them.
+(one partition's weighted centroids), ``cell`` (one cell's merged model),
+``tree_node`` (one coreset-tree internal merge, see
+:mod:`repro.stream.coreset`) and ``complete`` (run finished).  Float
+arrays are encoded as base64 of their little-endian float64 bytes, so
+replayed centroids are *bit identical* to the originals — JSON float
+round-tripping never touches them.  Unknown kinds are skipped on read,
+so journals written with ``tree_node`` records stay readable by older
+readers.
 """
 
 from __future__ import annotations
@@ -139,6 +142,7 @@ class JournalWriter:
         self._lock = threading.Lock()
         self.partition_records = 0
         self.cell_records = 0
+        self.tree_node_records = 0
         if self.path.exists() and self.path.stat().st_size > 0:
             state = read_journal(self.path)
             if state.torn:
@@ -213,6 +217,34 @@ class JournalWriter:
         )
         self.cell_records += 1
 
+    def append_tree_node(
+        self,
+        cell_id: str,
+        start: int,
+        count: int,
+        summary: WeightedCentroidSet,
+    ) -> None:
+        """Record one coreset-tree internal merge.
+
+        ``(cell, start, count)`` identifies the dyadic partition range the
+        node covers; on resume the rebuilt tree adopts the journaled
+        summary instead of recomputing the merge, so prefix queries after
+        a crash are bit-identical to an uninterrupted run without paying
+        for the merges again.
+        """
+        self.append(
+            {
+                "kind": "tree_node",
+                "cell": cell_id,
+                "start": int(start),
+                "count": int(count),
+                "centroids": _encode_array(summary.centroids),
+                "weights": _encode_array(summary.weights),
+                "source": summary.source,
+            }
+        )
+        self.tree_node_records += 1
+
     def append_complete(self) -> None:
         """Record the run-complete marker."""
         self.append({"kind": "complete"})
@@ -249,6 +281,9 @@ class JournalState:
         partitions: completed partition summaries, ``cell -> {partition:
             CentroidMessage}``.
         cells: finalised cell models, ``cell -> ClusterModel``.
+        tree_nodes: journaled coreset-tree merges, ``cell -> {(start,
+            count): WeightedCentroidSet}`` (empty unless the run used a
+            :class:`~repro.stream.coreset.CoresetTreeSink`).
         complete: whether the run-complete marker was found.
         torn: whether the file ended in a torn/corrupt record (recovered
             by stopping at the last complete record).
@@ -260,6 +295,9 @@ class JournalState:
     manifest: dict[str, Any] | None = None
     partitions: dict[str, dict[int, CentroidMessage]] = field(default_factory=dict)
     cells: dict[str, ClusterModel] = field(default_factory=dict)
+    tree_nodes: dict[str, dict[tuple[int, int], WeightedCentroidSet]] = field(
+        default_factory=dict
+    )
     complete: bool = False
     torn: bool = False
     valid_bytes: int = 0
@@ -322,6 +360,14 @@ def _decode_record(record: Mapping[str, Any], state: JournalState) -> None:
             merge_seconds=float(record.get("merge_seconds", 0.0)),
             total_seconds=float(record.get("total_seconds", 0.0)),
             extra=dict(record.get("extra", {})),
+        )
+    elif kind == "tree_node":
+        state.tree_nodes.setdefault(record["cell"], {})[
+            (int(record["start"]), int(record["count"]))
+        ] = WeightedCentroidSet(
+            centroids=_decode_array(record["centroids"]),
+            weights=_decode_array(record["weights"]),
+            source=record.get("source", ""),
         )
     elif kind == "complete":
         state.complete = True

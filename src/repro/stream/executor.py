@@ -482,3 +482,6 @@ class Executor:
         kernel_counters = getattr(sink, "kernel_counters", None)
         if kernel_counters:
             metrics.kernel_counters.update(kernel_counters)
+        tree_stats = getattr(sink, "tree_stats", None)
+        if tree_stats:
+            metrics.tree_stats.update(tree_stats)

@@ -286,6 +286,15 @@ class MergeKMeansSink(Sink):
     (count known from the messages); any cells still pending at end of
     stream are finalised in :meth:`result`.
 
+    Every final model's ``extra`` dict carries ``merge_iterations`` (int)
+    and ``partial_iterations`` (list of int, in partition order).  A cell
+    finalised with partitions missing (``degrade`` drops upstream)
+    additionally carries ``incomplete`` (True), ``expected_partitions``
+    (int) and ``missing_partitions`` (sorted list of int); a declared
+    empty cell carries ``empty_cell`` (True) instead.  All values are
+    JSON-safe, so the shape survives a journal round-trip — subclasses
+    (:class:`~repro.stream.coreset.CoresetTreeSink`) share this contract.
+
     Args:
         k: centroids in each final cell model.
         evaluate_on: optional mapping of cell id to raw points; when given,
@@ -427,9 +436,16 @@ class MergeKMeansSink(Sink):
             # Finalising short: partitions were dropped upstream (degrade
             # policy).  The model is still usable, but the loss must be
             # visible — both on the model and in the execution metrics.
+            # Shape contract (shared with CoresetTreeSink, asserted by
+            # tests and JSON-journal-safe): ``incomplete`` is True,
+            # ``expected_partitions`` is an int, ``missing_partitions`` is
+            # a sorted list of ints.
             present = {m.partition for m in messages}
-            extra["expected_partitions"] = expected
-            extra["missing_partitions"] = sorted(set(range(expected)) - present)
+            extra["incomplete"] = True
+            extra["expected_partitions"] = int(expected)
+            extra["missing_partitions"] = sorted(
+                int(p) for p in set(range(expected)) - present
+            )
             self.incomplete_cells.append(cell_id)
         model = ClusterModel(
             centroids=merged.model.centroids,

@@ -52,6 +52,11 @@ class OperatorMetrics:
             :class:`repro.core.kernels.KernelCounters`), copied from the
             sink when the run finishes.  Empty for operators that run no
             k-means.
+        tree_stats: coreset-tree accounting (depth, node counts, merges,
+            query cache hits; see
+            :attr:`repro.stream.coreset.CoresetTreeSink.tree_stats`),
+            copied from the sink when the run finishes.  Empty for runs
+            without a tree sink.
     """
 
     name: str
@@ -67,6 +72,7 @@ class OperatorMetrics:
     quarantined_files: list[str] = field(default_factory=list)
     incomplete_cells: list[str] = field(default_factory=list)
     kernel_counters: dict = field(default_factory=dict)
+    tree_stats: dict = field(default_factory=dict)
 
     @property
     def wall_seconds(self) -> float:
@@ -249,6 +255,26 @@ class ExecutionMetrics:
         return merged
 
     @property
+    def tree_stats(self) -> dict:
+        """Coreset-tree accounting merged across operators.
+
+        Numeric fields sum, except ``max_depth`` which takes the maximum;
+        empty when no operator maintained a coreset tree.
+        """
+        merged: dict = {}
+        for op in self.operators:
+            for key, value in op.tree_stats.items():
+                if key == "max_depth":
+                    merged[key] = max(merged.get(key, 0), value)
+                elif isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    merged[key] = merged.get(key, 0) + value
+                else:
+                    merged[key] = value
+        return merged
+
+    @property
     def worker_busy_seconds(self) -> float:
         """In-worker compute time summed over all process workers."""
         return sum(worker.busy_seconds for worker in self.workers)
@@ -316,6 +342,18 @@ class ExecutionMetrics:
                 f"  kernel[{stage}]: {counters.get('kernel', 'dense')} "
                 f"computed={computed} skipped={skipped} ({saved:.0%} saved) "
                 f"assign={counters.get('assign_seconds', 0.0):.3f}s"
+            )
+        tree = self.tree_stats
+        if tree:
+            lines.append(
+                f"  coreset: cells={tree.get('cells', 0)} "
+                f"nodes={tree.get('nodes', 0)} "
+                f"depth={tree.get('max_depth', 0)} "
+                f"merges={tree.get('node_merges', 0)} "
+                f"preloaded={tree.get('nodes_preloaded', 0)} "
+                f"queries={tree.get('queries', 0)} "
+                f"(cache_hits={tree.get('query_cache_hits', 0)}) "
+                f"query_time={tree.get('query_seconds', 0.0):.3f}s"
             )
         for stall in self.stalls:
             lines.append(

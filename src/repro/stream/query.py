@@ -43,6 +43,7 @@ from repro.stream.checkpoint import (
     RecoveryManager,
     bucket_inventory,
 )
+from repro.stream.coreset import CoresetTreeSink, PrefixQuery
 from repro.stream.executor import ExecutionResult, Executor
 from repro.stream.faults import FaultPlan
 from repro.stream.file_source import FAIL, BucketFileSource
@@ -52,7 +53,11 @@ from repro.stream.kmeans_ops import (
     MergeKMeansSink,
     PartialKMeansOperator,
 )
-from repro.stream.metrics import CheckpointStats, ExecutionMetrics
+from repro.stream.metrics import (
+    CheckpointStats,
+    ExecutionMetrics,
+    OperatorMetrics,
+)
 from repro.stream.mp import validate_backend
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
@@ -72,10 +77,17 @@ class QueryResult:
     Attributes:
         models: final cluster model per cell id.
         execution: engine-level result (metrics, queues).
+        prefix_queries: scheduled mid-stream clustering answers, in issue
+            order (empty unless :meth:`Query.with_prefix_queries` was
+            used).
+        final_queries: each cell's prefix-query answer at end of stream
+            (empty unless prefix queries were enabled).
     """
 
     models: dict[str, Any]
     execution: ExecutionResult
+    prefix_queries: list[PrefixQuery] = field(default_factory=list)
+    final_queries: dict[str, PrefixQuery] = field(default_factory=dict)
 
 
 @dataclass
@@ -101,6 +113,9 @@ class _QueryState:
     stall_timeout: float | None = None
     backend: str | None = None
     kernel: str | None = None
+    prefix_queries: bool = False
+    prefix_query_every: int | None = None
+    prefix_query_window: int | None = None
 
 
 class Query:
@@ -246,6 +261,36 @@ class Query:
         self._state.kernel = kernel
         return self
 
+    def with_prefix_queries(
+        self, every: int | None = None, window: int | None = None
+    ) -> "Query":
+        """Maintain a coreset tree per cell for mid-stream clustering.
+
+        Swaps the merge sink for a
+        :class:`~repro.stream.coreset.CoresetTreeSink`: final models stay
+        bit-identical (the tree rides alongside the exact one-shot
+        merge), but the run additionally answers "what do the clusters
+        look like right now?" in milliseconds from cached prefix merges.
+
+        Args:
+            every: issue (and log) a prefix query each time a cell's
+                contiguous partition prefix crosses a multiple of this
+                many partitions; ``None`` builds the tree without
+                scheduled queries (``QueryResult.final_queries`` is still
+                filled).
+            window: when set, scheduled queries cluster only the last
+                this-many chunks ("sliding window") instead of the whole
+                prefix.
+        """
+        if every is not None and every < 1:
+            raise QueryError(f"every must be >= 1, got {every}")
+        if window is not None and window < 1:
+            raise QueryError(f"window must be >= 1, got {window}")
+        self._state.prefix_queries = True
+        self._state.prefix_query_every = every
+        self._state.prefix_query_window = window
+        return self
+
     def with_supervision(
         self,
         policies: Mapping[str, SupervisionPolicy] | None = None,
@@ -389,14 +434,26 @@ class Query:
             kernel=state.kernel,
             seed_sequence=seed_sequence,
         )
-        sink = MergeKMeansSink(
-            k=merge_k,
-            criterion=merge["criterion"],
-            max_iter=merge["max_iter"],
-            kernel=state.kernel,
-            evaluate_on=evaluate_on,
-            journal=journal,
-        )
+        if state.prefix_queries:
+            sink: MergeKMeansSink = CoresetTreeSink(
+                k=merge_k,
+                criterion=merge["criterion"],
+                max_iter=merge["max_iter"],
+                kernel=state.kernel,
+                evaluate_on=evaluate_on,
+                journal=journal,
+                query_every=state.prefix_query_every,
+                query_window=state.prefix_query_window,
+            )
+        else:
+            sink = MergeKMeansSink(
+                k=merge_k,
+                criterion=merge["criterion"],
+                max_iter=merge["max_iter"],
+                kernel=state.kernel,
+                evaluate_on=evaluate_on,
+                journal=journal,
+            )
         graph.add(source, cost_hint=1.0)
         graph.add(partial, cost_hint=16.0)
         graph.add(sink, cost_hint=1.0)
@@ -453,6 +510,53 @@ class Query:
             return self._checkpointed_execute(fault_plan)
         graph = self._build_graph()
         outcome = self._run_plan(graph, fault_plan)
+        return self._to_result(graph, outcome)
+
+    def _offline_tree_sink(self, journal_state: JournalState) -> CoresetTreeSink:
+        """Rebuild per-cell coreset trees from a complete journal.
+
+        Used when a resume finds the journaled run already finished: no
+        stream runs, but the journaled partition summaries (plus the
+        adopted ``tree_node`` merges) reconstruct every tree, replaying
+        the scheduled query log and the final per-cell queries with the
+        same bits the original run produced.
+        """
+        state = self._state
+        cluster = dict(state.cluster_args or {})
+        merge = dict(state.merge_args or {"k": None, "criterion": None,
+                                          "max_iter": cluster["max_iter"]})
+        merge_k = merge["k"] if merge["k"] is not None else cluster["k"]
+        sink = CoresetTreeSink(
+            k=merge_k,
+            criterion=merge["criterion"],
+            max_iter=merge["max_iter"],
+            kernel=state.kernel,
+            query_every=state.prefix_query_every,
+            query_window=state.prefix_query_window,
+        )
+        sink.preload_tree_nodes(journal_state.tree_nodes)
+        for cell_id in sorted(journal_state.partitions):
+            by_partition = journal_state.partitions[cell_id]
+            sink.preload_tree_messages(
+                by_partition[index] for index in sorted(by_partition)
+            )
+        for cell_id, tree in sorted(sink.trees().items()):
+            if tree.n_inserted:
+                sink.final_queries[cell_id] = sink.query_now(cell_id)
+        return sink
+
+    def _to_result(
+        self, graph: DataflowGraph, outcome: ExecutionResult
+    ) -> QueryResult:
+        """Assemble the result, lifting prefix-query logs off the sink."""
+        sink = graph.operator("merge")
+        if isinstance(sink, CoresetTreeSink):
+            return QueryResult(
+                models=outcome.value,
+                execution=outcome,
+                prefix_queries=list(sink.prefix_queries),
+                final_queries=dict(sink.final_queries),
+            )
         return QueryResult(models=outcome.value, execution=outcome)
 
     def _run_plan(
@@ -561,9 +665,29 @@ class Query:
                 resumed=True,
             )
             models = dict(journal_state.cells)
+            prefix_queries: list[PrefixQuery] = []
+            final_queries: dict[str, PrefixQuery] = {}
+            if state.prefix_queries:
+                # The run asked for prefix queries; answer them from the
+                # journal alone.  Journaled partitions rebuild each tree
+                # (adopting journaled node merges), which replays the
+                # scheduled log per cell and the final query per cell
+                # bit-identically to the original run.
+                sink = self._offline_tree_sink(journal_state)
+                prefix_queries = list(sink.prefix_queries)
+                final_queries = dict(sink.final_queries)
+                tree_stats = sink.tree_stats
+                if tree_stats:
+                    # ExecutionMetrics.tree_stats aggregates over
+                    # operators; give the offline replay a merge-op entry.
+                    replay_op = OperatorMetrics(name="merge")
+                    replay_op.tree_stats.update(tree_stats)
+                    metrics.operators.append(replay_op)
             return QueryResult(
                 models=models,
                 execution=ExecutionResult(value=models, metrics=metrics),
+                prefix_queries=prefix_queries,
+                final_queries=final_queries,
             )
 
         skip_cells: set[str] = set()
@@ -591,8 +715,28 @@ class Query:
             sink = graph.operator("merge")
             assert isinstance(sink, MergeKMeansSink)
             if resumed:
+                if isinstance(sink, CoresetTreeSink):
+                    # Adopt journaled tree merges first so the replayed
+                    # partitions rebuild every tree without recomputing
+                    # the internal merges.
+                    sink.preload_tree_nodes(journal_state.tree_nodes)
                 for cell_id, model in journal_state.cells.items():
                     sink.preload_model(cell_id, model)
+                if isinstance(sink, CoresetTreeSink):
+                    # Cells with a journaled final model are excluded from
+                    # replayable_messages(), but their trees must still
+                    # exist for prefix queries: rebuild them from the
+                    # journaled partitions (tree only — the merge state
+                    # already adopted the final models above).  Cells that
+                    # merely have every partition journaled arrive via the
+                    # replay below instead.
+                    for cell_id in sorted(journal_state.cells):
+                        by_partition = journal_state.partitions.get(cell_id)
+                        if by_partition:
+                            sink.preload_tree_messages(
+                                by_partition[index]
+                                for index in sorted(by_partition)
+                            )
                 sink.preload(replay_messages)
             outcome = self._run_plan(graph, fault_plan)
             writer.append_complete()
@@ -607,4 +751,4 @@ class Query:
             )
         finally:
             writer.close()
-        return QueryResult(models=outcome.value, execution=outcome)
+        return self._to_result(graph, outcome)

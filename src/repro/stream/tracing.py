@@ -51,10 +51,12 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
                 "quarantined_files": list(op.quarantined_files),
                 "incomplete_cells": list(op.incomplete_cells),
                 "kernel_counters": dict(op.kernel_counters),
+                "tree_stats": dict(op.tree_stats),
             }
             for op in metrics.operators
         ],
         "kernel_counters": metrics.kernel_counters,
+        "tree_stats": metrics.tree_stats,
         "resilience": {
             "total_retries": metrics.total_retries,
             "total_restarts": metrics.total_restarts,

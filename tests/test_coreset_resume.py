@@ -1,0 +1,208 @@
+"""Kill-and-resume test for the coreset tree.
+
+The bar (ISSUE 6): a prefix-query run SIGKILLed mid-stream and resumed
+from its journal rebuilds every cell's coreset tree from the journaled
+``partition`` and ``tree_node`` records and answers prefix queries
+**bit-identically** to an uninterrupted run — while adopting journaled
+node merges instead of recomputing them.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_cell_points
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import write_bucket_dir
+from repro.stream.checkpoint import JOURNAL_FILENAME, read_journal
+from repro.stream.query import Query
+
+
+@pytest.fixture
+def bucket_dir(tmp_path):
+    cells = [
+        GridCell(GridCellId(10, 20), generate_cell_points(400, seed=1)),
+        GridCell(GridCellId(11, 20), generate_cell_points(300, seed=2)),
+        GridCell(GridCellId(12, 20), generate_cell_points(350, seed=3)),
+    ]
+    write_bucket_dir(tmp_path / "buckets", cells)
+    return tmp_path / "buckets"
+
+
+def prefix_query(buckets, run_dir=None):
+    query = (
+        Query.scan_buckets(str(buckets))
+        .partition(4)
+        .cluster(k=5, restarts=2)
+        .merge()
+        .with_seed(7)
+        .with_prefix_queries(every=2)
+    )
+    if run_dir is not None:
+        query = query.checkpoint(run_dir, resume=True, fsync=False)
+    return query
+
+
+def assert_query_answers_bit_identical(expected, actual):
+    assert (expected.start, expected.upto) == (actual.start, actual.upto)
+    np.testing.assert_array_equal(
+        expected.model.centroids, actual.model.centroids
+    )
+    np.testing.assert_array_equal(
+        expected.model.weights, actual.model.weights
+    )
+
+
+_CHILD_SCRIPT = """
+import sys
+from repro.stream.faults import FaultPlan, FaultSpec
+from repro.stream.query import Query
+
+buckets, run_dir = sys.argv[1], sys.argv[2]
+# Slow the merge sink so the parent can SIGKILL us mid-run with records
+# already journaled.
+faults = FaultPlan(
+    seed=1,
+    specs=[FaultSpec(target="merge", kind="delay", probability=1.0,
+                     delay_seconds=0.35)],
+)
+(
+    Query.scan_buckets(buckets)
+    .partition(4)
+    .cluster(k=5, restarts=2)
+    .merge()
+    .with_seed(7)
+    .with_prefix_queries(every=2)
+    .checkpoint(run_dir, resume=True)
+    .execute(fault_plan=faults)
+)
+"""
+
+
+class TestCompleteJournalReplay:
+    def test_resume_of_finished_run_replays_queries(self, bucket_dir, tmp_path):
+        """Resuming a *complete* journal streams nothing, yet still
+        answers the scheduled and final prefix queries — rebuilt from
+        journaled partitions with every tree merge adopted, bit-identical
+        to the original run's answers."""
+        run_dir = tmp_path / "run"
+        first = prefix_query(bucket_dir, run_dir).execute()
+        second = prefix_query(bucket_dir, run_dir).execute()
+
+        assert second.execution.metrics.checkpoint.resumed
+        assert set(second.final_queries) == set(first.final_queries) != set()
+        for cell in first.final_queries:
+            assert_query_answers_bit_identical(
+                first.final_queries[cell], second.final_queries[cell]
+            )
+        grouped_first: dict = {}
+        for answer in first.prefix_queries:
+            grouped_first.setdefault(answer.cell_id, []).append(answer)
+        grouped_second: dict = {}
+        for answer in second.prefix_queries:
+            grouped_second.setdefault(answer.cell_id, []).append(answer)
+        assert set(grouped_first) == set(grouped_second)
+        for cell in grouped_first:
+            assert len(grouped_first[cell]) == len(grouped_second[cell])
+            for expected, actual in zip(
+                grouped_first[cell], grouped_second[cell]
+            ):
+                assert_query_answers_bit_identical(expected, actual)
+        # Every internal merge came from the journal; none were redone.
+        stats = second.execution.metrics.tree_stats
+        assert stats["nodes_preloaded"] > 0
+        assert stats["node_merges"] == 0
+
+
+class TestTreeSurvivesSigkill:
+    def test_rebuilt_tree_answers_bit_identical(self, bucket_dir, tmp_path):
+        run_dir = tmp_path / "run"
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + env.get(
+            "PYTHONPATH", ""
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(bucket_dir), str(run_dir)],
+            env=env,
+        )
+        journal = run_dir / JOURNAL_FILENAME
+        try:
+            # Wait until the child has durably journaled some partitions,
+            # then kill it without warning.
+            deadline = time.monotonic() + 60.0
+            while time.monotonic() < deadline:
+                if child.poll() is not None:
+                    pytest.fail(
+                        "child exited before it could be killed "
+                        f"(rc={child.returncode})"
+                    )
+                if journal.exists():
+                    state = read_journal(journal)
+                    journaled = sum(
+                        len(parts) for parts in state.partitions.values()
+                    )
+                    if journaled >= 3:
+                        break
+                time.sleep(0.05)
+            else:
+                pytest.fail("journal never accumulated partition records")
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30)
+
+        state = read_journal(journal)
+        assert not state.complete
+
+        resumed = prefix_query(bucket_dir, run_dir).execute()
+        uninterrupted = prefix_query(bucket_dir).execute()
+
+        # The rebuilt trees answer end-of-stream prefix queries with the
+        # exact same bits, for every cell.
+        assert set(resumed.final_queries) == set(uninterrupted.final_queries)
+        for cell in uninterrupted.final_queries:
+            assert_query_answers_bit_identical(
+                uninterrupted.final_queries[cell],
+                resumed.final_queries[cell],
+            )
+
+        # The per-cell scheduled-query sequences match bit-identically
+        # too (global interleaving across cells may differ).
+        def by_cell(result):
+            grouped = {}
+            for answer in result.prefix_queries:
+                grouped.setdefault(answer.cell_id, []).append(answer)
+            return grouped
+
+        expected_log = by_cell(uninterrupted)
+        actual_log = by_cell(resumed)
+        assert set(expected_log) == set(actual_log)
+        for cell in expected_log:
+            assert len(expected_log[cell]) == len(actual_log[cell])
+            for expected, actual in zip(expected_log[cell], actual_log[cell]):
+                assert_query_answers_bit_identical(expected, actual)
+
+        # Final models stay bit-identical, and the resume actually
+        # adopted journaled tree merges (if any internal merge had been
+        # journaled before the kill) rather than starting from scratch.
+        for cell in uninterrupted.models:
+            np.testing.assert_array_equal(
+                uninterrupted.models[cell].centroids,
+                resumed.models[cell].centroids,
+            )
+            assert uninterrupted.models[cell].mse == resumed.models[cell].mse
+        journaled_nodes = sum(
+            len(nodes) for nodes in state.tree_nodes.values()
+        )
+        stats = resumed.execution.metrics.tree_stats
+        assert stats["nodes_preloaded"] >= min(journaled_nodes, 1)

@@ -162,10 +162,79 @@ class TestAdaptiveExecutor:
             AdaptiveExecutor(max_extra_clones=-1)
         with pytest.raises(ValueError, match="occupancy_threshold"):
             AdaptiveExecutor(occupancy_threshold=0.0)
+        with pytest.raises(ValueError, match="occupancy_threshold"):
+            AdaptiveExecutor(occupancy_threshold=1.5)
         with pytest.raises(ValueError, match="patience"):
             AdaptiveExecutor(patience=0)
         with pytest.raises(ValueError, match="sample_interval"):
             AdaptiveExecutor(sample_interval=0.0)
+
+    def test_empty_plan_rejected(self):
+        from repro.stream.planner import PhysicalPlan
+
+        with pytest.raises(ExecutionError):
+            AdaptiveExecutor().run(
+                PhysicalPlan(operators=[], queues={}, clone_counts={})
+            )
+
+    def test_events_reset_between_runs(self):
+        """A quiet second run must not inherit the first run's events."""
+        executor = AdaptiveExecutor(
+            max_extra_clones=2,
+            occupancy_threshold=0.2,
+            sample_interval=0.005,
+            patience=1,
+        )
+        executor.run(plan_single_clone(slow_graph(150)))
+        first = list(executor.events)
+        graph = DataflowGraph()
+        graph.add(RangeSource(10))
+        graph.add(FunctionTransform("fast", lambda i: [i]))
+        graph.add(CollectSink())
+        graph.connect("src", "fast")
+        graph.connect("fast", "sink")
+        outcome = executor.run(plan_single_clone(graph))
+        assert outcome.value == list(range(10))
+        assert executor.events == []
+        assert first is not executor.events
+
+    def test_non_parallelizable_transform_never_cloned(self):
+        class PinnedTransform(SlowTransform):
+            parallelizable = False
+
+        graph = DataflowGraph()
+        graph.add(RangeSource(80))
+        graph.add(PinnedTransform(name="pinned"), cost_hint=8.0)
+        graph.add(CollectSink())
+        graph.connect("src", "pinned")
+        graph.connect("pinned", "sink")
+        executor = AdaptiveExecutor(
+            max_extra_clones=3,
+            occupancy_threshold=0.1,
+            sample_interval=0.002,
+            patience=1,
+        )
+        outcome = executor.run(plan_single_clone(graph))
+        assert outcome.value == list(range(80))
+        assert executor.events == []
+        assert all(
+            "adaptive" not in op.name for op in outcome.metrics.operators
+        )
+
+    def test_event_fields_are_plausible(self):
+        executor = AdaptiveExecutor(
+            max_extra_clones=2,
+            occupancy_threshold=0.2,
+            sample_interval=0.005,
+            patience=1,
+        )
+        executor.run(plan_single_clone(slow_graph(150)))
+        names = [event.clone_name for event in executor.events]
+        assert len(names) == len(set(names))
+        for event in executor.events:
+            assert event.at_seconds >= 0.0
+            assert event.queue_occupancy >= executor.occupancy_threshold
+            assert event.logical_name == "slow"
 
     def test_adaptive_partial_merge_pipeline(self, blobs_6d):
         """The paper's query under the adaptive executor."""

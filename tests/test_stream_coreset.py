@@ -1,0 +1,504 @@
+"""Behavioural tests for the coreset merge tree and its stack wiring."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.model import WeightedCentroidSet
+from repro.data.generator import generate_cell_points
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import write_bucket_dir
+from repro.stream.checkpoint import JOURNAL_FILENAME, read_journal
+from repro.stream.coreset import (
+    CoresetTree,
+    CoresetTreeError,
+    CoresetTreeSink,
+)
+from repro.stream.items import CentroidMessage, Watermark
+from repro.stream.query import Query, QueryError
+from repro.stream.tracing import metrics_to_dict
+
+
+def make_message(partition, n_partitions=0, dim=2, k=3, cell_id="cell"):
+    rng = np.random.default_rng(1000 + partition)
+    return CentroidMessage(
+        cell_id=cell_id,
+        partition=partition,
+        summary=WeightedCentroidSet(
+            centroids=rng.normal(size=(k, dim)),
+            weights=rng.uniform(1.0, 10.0, size=k),
+            source=f"{cell_id}/P{partition}",
+        ),
+        n_partitions=n_partitions,
+    )
+
+
+@pytest.fixture
+def bucket_dir(tmp_path):
+    cells = [
+        GridCell(GridCellId(10, 20), generate_cell_points(300, seed=1)),
+        GridCell(GridCellId(11, 20), generate_cell_points(250, seed=2)),
+    ]
+    write_bucket_dir(tmp_path / "buckets", cells)
+    return tmp_path / "buckets"
+
+
+class TestCoresetTree:
+    def test_binary_counter_frontier(self):
+        tree = CoresetTree(k=3)
+        for index in range(11):
+            tree.offer(make_message(index))
+        # 11 = 0b1011: the frontier is the dyadic decomposition 8 + 2 + 1.
+        assert [root.count for root in tree.roots] == [8, 2, 1]
+        assert [root.start for root in tree.roots] == [0, 8, 10]
+        assert tree.depth == 3
+        assert tree.n_inserted == 11
+        # Every merge is retained: 11 leaves plus one internal node per
+        # binary-counter carry (n - popcount(n) = 11 - 3 = 8).
+        assert tree.n_nodes == 19
+        assert tree.node_merges == 8
+
+    def test_empty_tree_refuses_queries(self):
+        tree = CoresetTree(k=3)
+        with pytest.raises(CoresetTreeError, match="empty"):
+            tree.query_prefix()
+        with pytest.raises(CoresetTreeError, match="empty"):
+            tree.query_window(2)
+
+    def test_window_validation(self):
+        tree = CoresetTree(k=3)
+        tree.offer(make_message(0))
+        with pytest.raises(CoresetTreeError, match="window"):
+            tree.query_window(0)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError, match="k must be"):
+            CoresetTree(k=0)
+
+    def test_duplicate_partition_rejected(self):
+        tree = CoresetTree(k=3)
+        tree.offer(make_message(0))
+        with pytest.raises(ValueError, match="duplicate partition 0"):
+            tree.offer(make_message(0))
+        tree.offer(make_message(5))  # stashed, out of order
+        with pytest.raises(ValueError, match="duplicate partition 5"):
+            tree.offer(make_message(5))
+
+    def test_out_of_order_arrivals_stash_then_drain(self):
+        tree = CoresetTree(k=3)
+        assert tree.offer(make_message(2)) == 0
+        assert tree.offer(make_message(1)) == 0
+        assert tree.n_stashed == 2
+        assert tree.n_inserted == 0
+        # The gap fills: everything drains at once, in partition order.
+        assert tree.offer(make_message(0)) == 3
+        assert tree.n_stashed == 0
+        assert tree.n_inserted == 3
+
+    def test_query_cache_hits(self):
+        tree = CoresetTree(k=3)
+        for index in range(5):
+            tree.offer(make_message(index))
+        first = tree.query_prefix()
+        second = tree.query_prefix()
+        assert not first.cached
+        assert second.cached
+        assert tree.query_cache_hits == 1
+        np.testing.assert_array_equal(
+            first.model.centroids, second.model.centroids
+        )
+        # Growing the prefix invalidates nothing: a new range, a new entry.
+        tree.offer(make_message(5))
+        assert not tree.query_prefix().cached
+
+    def test_window_query_descends_into_cached_children(self):
+        tree = CoresetTree(k=3)
+        for index in range(8):
+            tree.offer(make_message(index))
+        # The frontier is one node of 8; a window of 3 must descend to
+        # the retained children [5], [6, 7].
+        assert [root.count for root in tree.roots] == [8]
+        answer = tree.query_window(3)
+        assert (answer.start, answer.upto) == (5, 8)
+        assert answer.nodes_reused == 2
+        total = sum(
+            make_message(i).summary.total_weight for i in range(5, 8)
+        )
+        assert answer.model.total_weight == pytest.approx(total)
+
+    def test_window_larger_than_stream_covers_everything(self):
+        tree = CoresetTree(k=3)
+        for index in range(3):
+            tree.offer(make_message(index))
+        answer = tree.query_window(100)
+        assert (answer.start, answer.upto) == (0, 3)
+
+    def test_query_reduces_to_k(self):
+        tree = CoresetTree(k=2)
+        for index in range(6):
+            tree.offer(make_message(index, k=4))
+        answer = tree.query_prefix()
+        assert answer.model.k <= 2
+
+    def test_preloaded_nodes_skip_merges(self):
+        recorded = {}
+        tree = CoresetTree(
+            k=3,
+            node_sink=lambda start, count, summary: recorded.__setitem__(
+                (start, count), summary
+            ),
+        )
+        for index in range(6):
+            tree.offer(make_message(index))
+        # 6 leaves: one merge per binary-counter carry (6 - popcount(6)).
+        assert tree.node_merges == len(recorded) == 4
+
+        rebuilt = CoresetTree(k=3, preloaded=recorded)
+        for index in range(6):
+            rebuilt.offer(make_message(index))
+        assert rebuilt.node_merges == 0
+        assert rebuilt.nodes_preloaded == 4
+        np.testing.assert_array_equal(
+            tree.query_prefix().model.centroids,
+            rebuilt.query_prefix().model.centroids,
+        )
+
+
+class TestCoresetTreeSink:
+    def feed(self, sink, n_partitions=6, cell_id="cell"):
+        for index in range(n_partitions):
+            sink.consume(make_message(index, n_partitions, cell_id=cell_id))
+
+    def test_scheduled_queries_every_n(self):
+        sink = CoresetTreeSink(k=3, query_every=2)
+        self.feed(sink, 6)
+        assert [q.upto for q in sink.prefix_queries] == [2, 4, 6]
+        assert all(q.cell_id == "cell" for q in sink.prefix_queries)
+        assert all(q.start == 0 for q in sink.prefix_queries)
+
+    def test_scheduled_window_queries(self):
+        sink = CoresetTreeSink(k=3, query_every=2, query_window=2)
+        self.feed(sink, 6)
+        assert [(q.start, q.upto) for q in sink.prefix_queries] == [
+            (0, 2),
+            (2, 4),
+            (4, 6),
+        ]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="query_every"):
+            CoresetTreeSink(k=3, query_every=0)
+        with pytest.raises(ValueError, match="query_window"):
+            CoresetTreeSink(k=3, query_window=0)
+
+    def test_adhoc_queries_and_unknown_cell(self):
+        sink = CoresetTreeSink(k=3)
+        self.feed(sink, 4)
+        answer = sink.query_now("cell")
+        assert answer.cell_id == "cell"
+        assert answer.upto == 4
+        window = sink.query_last("cell", 2)
+        assert (window.start, window.upto) == (2, 4)
+        with pytest.raises(CoresetTreeError, match="nope"):
+            sink.query_now("nope")
+
+    def test_final_queries_filled_by_result(self):
+        sink = CoresetTreeSink(k=3)
+        self.feed(sink, 4, cell_id="a")
+        self.feed(sink, 3, cell_id="b")
+        sink.result()
+        assert {c: q.upto for c, q in sink.final_queries.items()} == {
+            "a": 4,
+            "b": 3,
+        }
+
+    def test_tree_stats_aggregates_cells(self):
+        sink = CoresetTreeSink(k=3, query_every=2)
+        self.feed(sink, 4, cell_id="a")
+        self.feed(sink, 8, cell_id="b")
+        stats = sink.tree_stats
+        assert stats["cells"] == 2
+        assert stats["partitions"] == 12
+        assert stats["max_depth"] == 3
+        assert stats["scheduled_queries"] == len(sink.prefix_queries)
+
+    def test_empty_cell_watermark_builds_no_tree(self):
+        sink = CoresetTreeSink(k=3, query_every=1)
+        sink.consume(Watermark("hole", n_partitions=0, payload={"dim": 2}))
+        models = sink.result()
+        assert models["hole"].extra["empty_cell"] is True
+        assert "hole" not in sink.final_queries
+
+
+class TestIncompleteCellContract:
+    """Regression tests for the model.extra shape shared by both sinks
+    (ISSUE 6 satellite: the shape was previously unasserted)."""
+
+    @pytest.mark.parametrize("sink_cls", [None, CoresetTreeSink])
+    def test_short_finalisation_extra_shape(self, sink_cls):
+        from repro.stream.kmeans_ops import MergeKMeansSink
+
+        cls = sink_cls or MergeKMeansSink
+        sink = cls(k=2)
+        # Partition 1 of 3 never arrives (a degrade drop upstream).
+        for index in (0, 2):
+            sink.consume(make_message(index, n_partitions=3))
+        models = sink.result()
+        extra = models["cell"].extra
+        assert extra["incomplete"] is True
+        assert isinstance(extra["expected_partitions"], int)
+        assert extra["expected_partitions"] == 3
+        assert extra["missing_partitions"] == [1]
+        assert all(isinstance(p, int) for p in extra["missing_partitions"])
+        assert sink.incomplete_cells == ["cell"]
+        # The shape must survive a JSON round-trip (journal cell records).
+        assert json.loads(json.dumps(extra)) == extra
+
+    def test_complete_finalisation_has_no_incomplete_marker(self):
+        sink = CoresetTreeSink(k=2)
+        for index in range(3):
+            sink.consume(make_message(index, n_partitions=3))
+        extra = sink.result()["cell"].extra
+        assert "incomplete" not in extra
+        assert "missing_partitions" not in extra
+        assert isinstance(extra["merge_iterations"], int)
+        assert extra["partial_iterations"] == [0, 0, 0]
+
+
+class TestQueryWiring:
+    def cells(self):
+        rng = np.random.default_rng(5)
+        return {
+            "a": rng.normal(size=(240, 3)),
+            "b": rng.normal(size=(180, 3)) + 4.0,
+        }
+
+    def run(self, **kwargs):
+        query = (
+            Query.scan_cells(self.cells())
+            .partition(6)
+            .cluster(k=4, restarts=2)
+            .merge()
+            .with_seed(11)
+            .with_prefix_queries(**kwargs)
+        )
+        return query.execute()
+
+    def test_validation(self):
+        query = Query.scan_cells(self.cells()).partition(4).cluster(k=3)
+        with pytest.raises(QueryError, match="every"):
+            query.with_prefix_queries(every=0)
+        with pytest.raises(QueryError, match="window"):
+            query.with_prefix_queries(window=0)
+
+    def test_prefix_queries_surface_in_result(self):
+        result = self.run(every=2)
+        assert {q.cell_id for q in result.prefix_queries} == {"a", "b"}
+        assert [q.upto for q in result.prefix_queries if q.cell_id == "a"] == [
+            2,
+            4,
+            6,
+        ]
+        assert set(result.final_queries) == {"a", "b"}
+        for cell, query in result.final_queries.items():
+            assert query.upto == 6
+            assert query.model.total_weight == pytest.approx(
+                result.models[cell].weights.sum()
+            )
+
+    def test_plain_query_has_empty_prefix_fields(self):
+        result = (
+            Query.scan_cells(self.cells())
+            .partition(4)
+            .cluster(k=3, restarts=1)
+            .merge()
+            .with_seed(1)
+            .execute()
+        )
+        assert result.prefix_queries == []
+        assert result.final_queries == {}
+        assert result.execution.metrics.tree_stats == {}
+
+    def test_tree_stats_reach_metrics_and_trace(self):
+        result = self.run(every=3)
+        stats = result.execution.metrics.tree_stats
+        assert stats["cells"] == 2
+        assert stats["node_merges"] > 0
+        text = "\n".join(result.execution.metrics.summary_lines())
+        assert "coreset:" in text
+        payload = metrics_to_dict(result.execution.metrics)
+        assert payload["tree_stats"]["cells"] == 2
+        merge_ops = [
+            op for op in payload["operators"] if op["name"] == "merge"
+        ]
+        assert merge_ops[0]["tree_stats"]["cells"] == 2
+
+    def test_backends_bit_identical_prefix_queries(self):
+        def run(backend):
+            return (
+                Query.scan_cells(self.cells())
+                .partition(6)
+                .cluster(k=4, restarts=2)
+                .merge()
+                .with_seed(11)
+                .with_backend(backend, workers=2)
+                .with_prefix_queries(every=2)
+                .execute()
+            )
+
+        threads = run("threads")
+        processes = run("processes")
+        by_key = lambda r: {
+            (q.cell_id, q.start, q.upto): q.model for q in r.prefix_queries
+        }
+        t, p = by_key(threads), by_key(processes)
+        assert set(t) == set(p)
+        for key in t:
+            np.testing.assert_array_equal(t[key].centroids, p[key].centroids)
+            np.testing.assert_array_equal(t[key].weights, p[key].weights)
+        for cell in threads.models:
+            np.testing.assert_array_equal(
+                threads.models[cell].centroids,
+                processes.models[cell].centroids,
+            )
+
+
+class TestJournalledTree:
+    def query(self, bucket_dir, run_dir):
+        return (
+            Query.scan_buckets(str(bucket_dir))
+            .partition(4)
+            .cluster(k=4, restarts=2)
+            .merge()
+            .with_seed(9)
+            .with_prefix_queries(every=2)
+            .checkpoint(run_dir, resume=True, fsync=False)
+        )
+
+    def test_tree_nodes_journaled_and_decoded(self, bucket_dir, tmp_path):
+        run_dir = tmp_path / "run"
+        result = self.query(bucket_dir, run_dir).execute()
+        assert result.prefix_queries
+        state = read_journal(run_dir / JOURNAL_FILENAME)
+        assert state.tree_nodes
+        merges = result.execution.metrics.tree_stats["node_merges"]
+        journaled = sum(len(nodes) for nodes in state.tree_nodes.values())
+        assert journaled == merges
+        for nodes in state.tree_nodes.values():
+            for (start, count), summary in nodes.items():
+                assert count >= 2  # leaves are never journaled
+                assert start % count == 0  # dyadic alignment
+                assert isinstance(summary, WeightedCentroidSet)
+
+    def test_resume_adopts_journaled_tree_nodes(self, bucket_dir, tmp_path):
+        from repro.stream.errors import ExecutionError
+        from repro.stream.faults import FaultPlan, FaultSpec
+
+        run_dir = tmp_path / "run"
+        faults = FaultPlan(
+            seed=3,
+            specs=[FaultSpec(target="merge", kind="crash", at_index=5)],
+        )
+        with pytest.raises(ExecutionError):
+            self.query(bucket_dir, run_dir).execute(fault_plan=faults)
+        state = read_journal(run_dir / JOURNAL_FILENAME)
+        assert not state.complete
+
+        resumed = self.query(bucket_dir, run_dir).execute()
+        stats = resumed.execution.metrics.tree_stats
+        assert stats["nodes_preloaded"] > 0
+
+        uninterrupted = (
+            Query.scan_buckets(str(bucket_dir))
+            .partition(4)
+            .cluster(k=4, restarts=2)
+            .merge()
+            .with_seed(9)
+            .with_prefix_queries(every=2)
+            .execute()
+        )
+        assert set(resumed.final_queries) == set(uninterrupted.final_queries)
+        for cell in resumed.final_queries:
+            np.testing.assert_array_equal(
+                resumed.final_queries[cell].model.centroids,
+                uninterrupted.final_queries[cell].model.centroids,
+            )
+            np.testing.assert_array_equal(
+                resumed.final_queries[cell].model.weights,
+                uninterrupted.final_queries[cell].model.weights,
+            )
+        for cell in uninterrupted.models:
+            np.testing.assert_array_equal(
+                uninterrupted.models[cell].centroids,
+                resumed.models[cell].centroids,
+            )
+
+    def test_old_reader_semantics_ignore_tree_nodes(self, tmp_path):
+        """tree_node records ride in the same journal without disturbing
+        partition/cell decoding (forward compatibility holds both ways)."""
+        from repro.stream.checkpoint import JournalWriter
+
+        path = tmp_path / "journal.rjl"
+        with JournalWriter(path, fsync=False) as writer:
+            writer.append_partition(make_message(0, n_partitions=2))
+            writer.append_tree_node(
+                "cell", 0, 2, make_message(0).summary
+            )
+            writer.append_partition(make_message(1, n_partitions=2))
+        state = read_journal(path)
+        assert len(state.partitions["cell"]) == 2
+        assert ("cell" in state.tree_nodes) and (
+            (0, 2) in state.tree_nodes["cell"]
+        )
+        assert not state.torn
+
+
+class TestCLI:
+    def test_prefix_query_flags(self, bucket_dir, capsys):
+        rc = main(
+            [
+                "query",
+                str(bucket_dir),
+                "--k",
+                "4",
+                "--chunks",
+                "4",
+                "--restarts",
+                "2",
+                "--seed",
+                "3",
+                "--prefix-query-every",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prefix[" in out
+        assert "coreset:" in out
+
+    def test_window_flag(self, bucket_dir, capsys):
+        rc = main(
+            [
+                "query",
+                str(bucket_dir),
+                "--k",
+                "4",
+                "--chunks",
+                "4",
+                "--restarts",
+                "2",
+                "--seed",
+                "3",
+                "--prefix-query-every",
+                "2",
+                "--window",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "last 2 chunk(s)" in out

@@ -139,6 +139,71 @@ class TestMethodCSimulation:
             sim.simulate_method_c(100, 2, 4, iterations=5, migration_fraction=2.0)
 
 
+class TestReportInvariants:
+    def test_zero_makespan_utilization_is_zero(self):
+        from repro.stream.distributed import SimReport
+
+        report = SimReport(
+            makespan_seconds=0.0, compute_seconds={"pc0": 0.0, "pc1": 0.0}
+        )
+        assert report.utilization() == {"pc0": 0.0, "pc1": 0.0}
+
+    def test_busy_time_never_exceeds_makespan(self):
+        sim = DistributedSimulation(paper_testbed(4))
+        report = sim.simulate_partial_merge(
+            n_points=50_000, dim=6, k=40, n_chunks=8,
+            restarts=10, partial_iterations=15.0,
+        )
+        for busy in report.compute_seconds.values():
+            assert busy <= report.makespan_seconds + 1e-12
+
+    def test_events_have_positive_extent(self):
+        sim = DistributedSimulation(paper_testbed(3))
+        report = sim.simulate_partial_merge(
+            n_points=20_000, dim=6, k=20, n_chunks=6,
+            restarts=4, partial_iterations=10.0,
+        )
+        for event in report.events:
+            assert event.end >= event.start >= 0.0
+            assert event.kind in {"transfer", "partial", "merge", "broadcast"}
+
+
+class TestMethodCBranches:
+    def test_zero_migration_fraction_skips_point_traffic(self):
+        """With no migrating points, traffic is shards + mean broadcasts."""
+        sim = DistributedSimulation(paper_testbed(4))
+        report = sim.simulate_method_c(
+            40_000, 6, 40, iterations=5, migration_fraction=0.0
+        )
+        point_bytes = 6 * 8
+        shard_bytes = (40_000 / 4) * point_bytes * 3
+        mean_bytes = 40 * 7 * 8
+        expected = shard_bytes + mean_bytes * 4 * 3 * 5
+        assert report.network_bytes == pytest.approx(expected)
+
+    def test_sub_single_point_migration_is_dropped(self):
+        """A migration volume below one point moves no bytes."""
+        sim = DistributedSimulation(paper_testbed(2))
+        tiny = sim.simulate_method_c(
+            10, 2, 2, iterations=3, migration_fraction=0.05
+        )
+        none = sim.simulate_method_c(
+            10, 2, 2, iterations=3, migration_fraction=0.0
+        )
+        assert tiny.network_bytes == none.network_bytes
+
+    def test_more_slaves_broadcast_more(self):
+        two = DistributedSimulation(paper_testbed(2)).simulate_method_c(
+            40_000, 6, 40, iterations=10, migration_fraction=0.0
+        )
+        four = DistributedSimulation(paper_testbed(4)).simulate_method_c(
+            40_000, 6, 40, iterations=10, migration_fraction=0.0
+        )
+        # Broadcast traffic is quadratic in the slave count; even after
+        # subtracting the (larger) shard distribution it must dominate.
+        assert four.network_bytes > two.network_bytes
+
+
 class TestCalibration:
     def test_calibration_positive_and_plausible(self):
         ops = calibrate_ops_per_second(n_points=2_000, k=10)

@@ -1,0 +1,120 @@
+"""Dedicated tests for :mod:`repro.stream.scheduler`.
+
+``test_stream_scheduler_metrics.py`` covers the happy paths; this suite
+pins down the boundary behaviour the planner relies on: the CPU-count
+default for ``worker_slots=0``, frozen-dataclass immutability, and the
+monotonicity/consistency laws connecting ``max_points_per_partition``
+and ``partitions_for``.
+"""
+
+from __future__ import annotations
+
+from unittest import mock
+
+import pytest
+
+from repro.stream.scheduler import DEFAULT_MEMORY_BUDGET, ResourceManager
+
+
+class TestWorkerSlotDefaulting:
+    def test_zero_slots_resolves_to_cpu_count(self):
+        with mock.patch("repro.stream.scheduler.os.cpu_count", return_value=6):
+            resources = ResourceManager(worker_slots=0)
+        assert resources.worker_slots == 6
+
+    def test_unknown_cpu_count_falls_back_to_one(self):
+        """``os.cpu_count()`` may return None; the manager must not."""
+        with mock.patch(
+            "repro.stream.scheduler.os.cpu_count", return_value=None
+        ):
+            resources = ResourceManager(worker_slots=0)
+        assert resources.worker_slots == 1
+
+    def test_explicit_slots_ignore_cpu_count(self):
+        with mock.patch("repro.stream.scheduler.os.cpu_count", return_value=64):
+            resources = ResourceManager(worker_slots=3)
+        assert resources.worker_slots == 3
+
+
+class TestImmutability:
+    def test_frozen_after_construction(self):
+        resources = ResourceManager()
+        with pytest.raises(AttributeError):
+            resources.worker_slots = 99
+        with pytest.raises(AttributeError):
+            resources.memory_budget_bytes = 2 * DEFAULT_MEMORY_BUDGET
+
+    def test_equal_specs_compare_equal(self):
+        """Value semantics: plans keyed on a manager stay stable."""
+        a = ResourceManager(memory_budget_bytes=1 << 20, worker_slots=4)
+        b = ResourceManager(memory_budget_bytes=1 << 20, worker_slots=4)
+        assert a == b
+
+
+class TestBudgetBoundaries:
+    def test_minimum_accepted_budget(self):
+        """1024 bytes is the documented floor; 1023 is rejected."""
+        assert ResourceManager(memory_budget_bytes=1024).memory_budget_bytes
+        with pytest.raises(ValueError, match="unreasonably small"):
+            ResourceManager(memory_budget_bytes=1023)
+
+    def test_capacity_monotone_in_budget(self):
+        small = ResourceManager(memory_budget_bytes=1 << 20)
+        large = ResourceManager(memory_budget_bytes=1 << 24)
+        for dim in (1, 3, 6, 64):
+            assert large.max_points_per_partition(
+                dim
+            ) >= small.max_points_per_partition(dim)
+
+    def test_capacity_scales_linearly_with_budget(self):
+        small = ResourceManager(memory_budget_bytes=1 << 20)
+        large = ResourceManager(memory_budget_bytes=1 << 23)
+        ratio = large.max_points_per_partition(
+            6
+        ) / small.max_points_per_partition(6)
+        assert ratio == pytest.approx(8.0, rel=0.01)
+
+
+class TestPartitioningLaws:
+    def test_partitions_monotone_in_points(self):
+        resources = ResourceManager(memory_budget_bytes=64 * 1024)
+        previous = 0
+        for n_points in (1, 10, 1_000, 50_000, 500_000):
+            parts = resources.partitions_for(n_points, dim=6)
+            assert parts >= previous
+            previous = parts
+
+    def test_partitions_never_exceed_points(self):
+        """Even a 1-point capacity yields at most one partition per point."""
+        resources = ResourceManager(memory_budget_bytes=1024)
+        for n_points in (1, 7, 100):
+            assert resources.partitions_for(n_points, dim=1000) <= n_points
+
+    def test_single_point_needs_single_partition(self):
+        resources = ResourceManager()
+        assert resources.partitions_for(1, dim=6) == 1
+
+    def test_partition_count_is_tight(self):
+        """One fewer partition would overflow the per-partition budget."""
+        resources = ResourceManager(memory_budget_bytes=256 * 1024)
+        n_points, dim = 123_457, 6
+        parts = resources.partitions_for(n_points, dim)
+        cap = resources.max_points_per_partition(dim)
+        if parts > 1:
+            per_part_with_fewer = -(-n_points // (parts - 1))
+            assert per_part_with_fewer > cap
+
+
+class TestCloneBudget:
+    def test_full_reservation_leaves_one_slot(self):
+        resources = ResourceManager(worker_slots=4)
+        assert resources.clones_available(reserved=4) == 1
+
+    def test_zero_reservation_uses_all_slots(self):
+        resources = ResourceManager(worker_slots=4)
+        assert resources.clones_available(reserved=0) == 4
+
+    def test_monotone_in_reserved(self):
+        resources = ResourceManager(worker_slots=8)
+        values = [resources.clones_available(r) for r in range(10)]
+        assert values == sorted(values, reverse=True)
