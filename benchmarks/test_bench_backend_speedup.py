@@ -19,6 +19,8 @@ import json
 import os
 from pathlib import Path
 
+import pytest
+
 from repro.data.generator import generate_cell_points
 from repro.stream.kmeans_ops import run_partial_merge_stream
 
@@ -38,6 +40,10 @@ def _run(backend: str, cells, clones: int):
     )
 
 
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < 2,
+    reason="backend comparison needs >= 2 host CPUs to say anything",
+)
 def test_bench_backend_speedup(benchmark):
     """Threads vs processes: identical bits, wall times to the ledger."""
     host_cpus = os.cpu_count() or 1

@@ -1,0 +1,168 @@
+"""Benchmark: shard-runtime recovery latency and worker scaling.
+
+Two questions the shard runtime (``repro.stream.shard``) must answer
+with numbers, recorded in ``BENCH_shard.json`` at the repository root:
+
+* **How fast is recovery?**  Repeated trials SIGKILL one of three
+  workers mid-run (a seeded ``FaultPlan``, different seed per trial so
+  the kill lands at different partitions); each trial's
+  ``RecoveryEvent.recovery_seconds`` (loss detected -> last affected
+  cell finished) is collected and reported as p50/p95 alongside
+  reassignment and journal-replay counts.  Every chaos trial is also
+  checked bit-identical against the fault-free run — a fast recovery to
+  the wrong bits would not be a recovery.
+* **Does it scale?**  The same workload on 1/2/4 workers.  The same
+  caveat as ``test_bench_backend_speedup`` applies: wall-clock speed-up
+  needs spare CPU cores, so the scaling numbers carry a ``meaningful``
+  flag instead of a hard assertion on starved hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.generator import generate_cell_points
+from repro.stream.faults import FaultPlan, FaultSpec
+from repro.stream.shard import ShardConfig, run_sharded
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+_N_CELLS = 6
+_POINTS_PER_CELL = 2_000
+_K = 8
+_N_CHUNKS = 5
+_SEED = 42
+_KILL_TRIALS = 5
+
+
+def _cells():
+    return {
+        f"lat{i}lon0": generate_cell_points(_POINTS_PER_CELL, seed=100 + i)
+        for i in range(_N_CELLS)
+    }
+
+
+def _config(n_workers: int) -> ShardConfig:
+    return ShardConfig(
+        n_workers=n_workers,
+        heartbeat_interval=0.05,
+        heartbeat_timeout=0.5,
+    )
+
+
+def _run(cells, n_workers: int, fault_plan=None):
+    return run_sharded(
+        cells,
+        k=_K,
+        restarts=1,
+        n_chunks=_N_CHUNKS,
+        seed=_SEED,
+        max_iter=60,
+        config=_config(n_workers),
+        fault_plan=fault_plan,
+    )
+
+
+def _percentile(values, q):
+    return float(np.percentile(np.asarray(values, dtype=np.float64), q))
+
+
+def test_bench_shard_recovery_and_scaling(benchmark):
+    host_cpus = os.cpu_count() or 1
+    cells = _cells()
+
+    baseline_models, baseline_metrics = _run(cells, n_workers=3)
+
+    # -- recovery latency under repeated mid-run SIGKILLs ------------------
+    latencies, reassigned, replayed = [], [], []
+    for trial in range(_KILL_TRIALS):
+        plan = FaultPlan(
+            seed=100 + trial,
+            specs=[
+                FaultSpec(
+                    target="worker#1", kind="kill", at_index=1 + trial * 2
+                )
+            ],
+        )
+        chaos_models, chaos_metrics = _run(cells, n_workers=3, fault_plan=plan)
+        for cell_id, model in baseline_models.items():
+            assert (
+                model.centroids.tobytes()
+                == chaos_models[cell_id].centroids.tobytes()
+            ), f"trial {trial}: {cell_id} diverged"
+            assert not chaos_models[cell_id].extra.get("incomplete")
+        assert chaos_metrics.recoveries, f"trial {trial}: kill never landed"
+        for event in chaos_metrics.recoveries:
+            latencies.append(event.recovery_seconds)
+            reassigned.append(event.cells_reassigned)
+            replayed.append(event.replayed_records)
+
+    # -- worker scaling ----------------------------------------------------
+    scaling = []
+    for n_workers in (1, 2, 4):
+        if n_workers == 4:
+            # The benchmark fixture may wrap only one call; give it the
+            # widest configuration and time the rest via wall_seconds.
+            _, metrics = benchmark.pedantic(
+                lambda: _run(cells, n_workers=4), rounds=1, iterations=1
+            )
+        else:
+            _, metrics = _run(cells, n_workers=n_workers)
+        scaling.append(
+            {"workers": n_workers, "wall_seconds": metrics.wall_seconds}
+        )
+    base_wall = scaling[0]["wall_seconds"]
+    for entry in scaling:
+        entry["speedup"] = (
+            base_wall / entry["wall_seconds"]
+            if entry["wall_seconds"] > 0
+            else float("inf")
+        )
+
+    payload = {
+        "host_cpus": host_cpus,
+        "n_cells": _N_CELLS,
+        "points_per_cell": _POINTS_PER_CELL,
+        "k": _K,
+        "n_chunks": _N_CHUNKS,
+        "kill_trials": _KILL_TRIALS,
+        "fault_free_wall_seconds": baseline_metrics.wall_seconds,
+        "recovery": {
+            "latency_p50_seconds": _percentile(latencies, 50),
+            "latency_p95_seconds": _percentile(latencies, 95),
+            "latency_max_seconds": max(latencies),
+            "cells_reassigned_total": int(sum(reassigned)),
+            "cells_reassigned_per_loss_p50": _percentile(reassigned, 50),
+            "journal_records_replayed_total": int(sum(replayed)),
+            "bit_identical": True,
+        },
+        "scaling": scaling,
+        # Scaling numbers from a host with fewer spare cores than
+        # workers describe the host, not the runtime; flag them.
+        "meaningful": host_cpus >= 4,
+    }
+    (_REPO_ROOT / "BENCH_shard.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    print()
+    print(
+        f"shard recovery over {len(latencies)} losses: "
+        f"p50 {payload['recovery']['latency_p50_seconds'] * 1e3:.1f}ms "
+        f"p95 {payload['recovery']['latency_p95_seconds'] * 1e3:.1f}ms, "
+        f"{sum(reassigned)} cells reassigned, "
+        f"{sum(replayed)} journal records replayed"
+    )
+    for entry in scaling:
+        print(
+            f"  {entry['workers']} worker(s): {entry['wall_seconds']:.3f}s "
+            f"({entry['speedup']:.2f}x)"
+        )
+
+    assert latencies, "no recovery events recorded"
+    assert all(lat >= 0.0 for lat in latencies)
+    assert sum(reassigned) >= _KILL_TRIALS

@@ -223,7 +223,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
         query = query.with_kernel(args.kernel)
     if args.clones:
         query = query.with_partial_clones(args.clones)
-    if args.backend != "threads" or args.workers:
+    if args.shards:
+        query = query.with_shards(args.shards)
+    elif args.backend != "threads" or args.workers:
         query = query.with_backend(
             args.backend, workers=args.workers or None
         )
@@ -450,6 +452,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="worker processes for --backend processes (0 lets the "
         "planner decide; equivalent to --clones)",
+    )
+    p_query.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="run on the fault-tolerant shard-per-cell runtime with this "
+        "many worker processes (overrides --backend/--workers; cells are "
+        "partitioned across workers, worker loss is survived with "
+        "bit-identical recovery)",
     )
     p_query.add_argument("--seed", type=int, default=None)
     p_query.add_argument(

@@ -75,7 +75,7 @@ def best_of_restarts(
         rng: random generator driving seed selection.
         weights: optional point weights, forwarded to the kernel.
         seeding: seed strategy name (``"random"``, ``"distinct"``,
-            ``"kmeans++"``).
+            ``"kmeans++"``, ``"kmeans||"``).
         criterion: convergence criterion forwarded to the kernel.
         max_iter: per-run iteration cap.
         kernel: assignment backend name or instance, forwarded to
@@ -102,7 +102,7 @@ def best_of_restarts(
     abandoned_runs = 0
 
     for run in range(restarts):
-        if seeding == "kmeans++":
+        if seeding in ("kmeans++", "kmeans||"):
             seeds = seeder(pts, k, rng, weights=weights)
         else:
             seeds = seeder(pts, k, rng)

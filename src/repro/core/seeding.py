@@ -24,6 +24,7 @@ __all__ = [
     "distinct_random_seeds",
     "largest_weight_seeds",
     "kmeans_plus_plus_seeds",
+    "kmeans_parallel_seeds",
     "resolve_strategy",
 ]
 
@@ -123,17 +124,99 @@ def kmeans_plus_plus_seeds(
     return np.asarray(seeds, dtype=np.float64)
 
 
+def kmeans_parallel_seeds(
+    points: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    weights: np.ndarray | None = None,
+    rounds: int = 5,
+    oversampling: float | None = None,
+) -> np.ndarray:
+    """k-means|| seeding (Bahmani et al., "Scalable K-Means++").
+
+    Instead of ``k`` strictly sequential D^2 draws, each of ``rounds``
+    passes samples ~``oversampling`` candidates *independently* with
+    probability proportional to their D^2 contribution, then the
+    oversampled candidate set is reduced back to ``k`` by weighting each
+    candidate with the point mass it attracts and running k-means++ over
+    the candidates alone.  One high-quality seed set per shard replaces
+    the paper's restart-heavy ``R``-times-random seeding, which is what
+    makes restart-free parallel shards practical.
+
+    Args:
+        points: ``(n, d)`` candidate pool.
+        k: number of seeds wanted.
+        rng: generator driving every random draw (deterministic per cell).
+        weights: optional point weights (mass-aware D^2 sampling).
+        rounds: number of oversampling passes (the paper suggests ~5).
+        oversampling: expected candidates per round (``ell``); defaults
+            to ``2 * k`` as recommended by Bahmani et al.
+
+    Returns:
+        ``(k', d)`` seed array with ``k' = min(k, n)``.
+    """
+    pts = as_points(points)
+    wts = as_weights(weights, pts.shape[0])
+    kk = _effective_k(k, pts.shape[0])
+    n = pts.shape[0]
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    ell = float(oversampling) if oversampling is not None else 2.0 * kk
+    if ell <= 0.0:
+        raise ValueError(f"oversampling must be > 0, got {ell}")
+
+    probs = wts / wts.sum()
+    first = int(rng.choice(n, p=probs))
+    chosen = {first}
+    closest_sq = ((pts - pts[first]) ** 2).sum(axis=1)
+
+    for _ in range(rounds):
+        cost = float((closest_sq * wts).sum())
+        if cost <= 0.0:
+            break  # every point already coincides with a candidate
+        # Independent Bernoulli draws: p_x = min(1, ell * d^2(x) w_x / cost).
+        p = np.minimum(1.0, ell * closest_sq * wts / cost)
+        drawn = np.flatnonzero(rng.random(n) < p)
+        fresh = [int(i) for i in drawn if int(i) not in chosen]
+        if not fresh:
+            continue
+        chosen.update(fresh)
+        dist_new = ((pts[None, :, :] - pts[fresh][:, None, :]) ** 2).sum(
+            axis=2
+        )
+        closest_sq = np.minimum(closest_sq, dist_new.min(axis=0))
+
+    candidates = np.array(sorted(chosen), dtype=np.intp)
+    cand_pts = pts[candidates]
+    if candidates.shape[0] <= kk:
+        if candidates.shape[0] == kk:
+            return cand_pts.copy()
+        # Too few candidates survived oversampling; top up uniformly.
+        pool = np.setdiff1d(np.arange(n), candidates, assume_unique=True)
+        extra = rng.choice(pool, size=kk - candidates.shape[0], replace=False)
+        return np.concatenate([cand_pts, pts[extra]], axis=0)
+
+    # Weight every candidate by the point mass it attracts, then recluster
+    # the small candidate set down to k with mass-aware k-means++.
+    dist = ((pts[:, None, :] - cand_pts[None, :, :]) ** 2).sum(axis=2)
+    owner = dist.argmin(axis=1)
+    cand_wts = np.bincount(owner, weights=wts, minlength=candidates.shape[0])
+    cand_wts = np.maximum(cand_wts, np.finfo(np.float64).tiny)
+    return kmeans_plus_plus_seeds(cand_pts, kk, rng, weights=cand_wts)
+
+
 def resolve_strategy(name: str):
     """Map a strategy name to a callable ``(points, k, rng) -> seeds``.
 
-    Recognised names: ``"random"``, ``"distinct"``, ``"kmeans++"``.
-    The weight-based merge seeding is not resolvable here because its
-    signature differs (it needs weights, not an rng).
+    Recognised names: ``"random"``, ``"distinct"``, ``"kmeans++"``,
+    ``"kmeans||"``.  The weight-based merge seeding is not resolvable here
+    because its signature differs (it needs weights, not an rng).
     """
     strategies = {
         "random": random_seeds,
         "distinct": distinct_random_seeds,
         "kmeans++": kmeans_plus_plus_seeds,
+        "kmeans||": kmeans_parallel_seeds,
     }
     if name not in strategies:
         raise ValueError(

@@ -50,6 +50,8 @@ from repro.stream.errors import (
     OperatorTimeout,
     QueueClosedError,
     QueueTimeout,
+    ShardError,
+    ShardWorkerLost,
     StreamError,
     WorkerCrashed,
 )
@@ -70,11 +72,14 @@ from repro.stream.metrics import (
     CheckpointStats,
     ExecutionMetrics,
     OperatorMetrics,
+    RecoveryEvent,
+    ShardWorkerStats,
     StallEvent,
     WorkerProcessStats,
 )
 from repro.stream.mp import (
     PROCESSES,
+    SHARDS,
     THREADS,
     OperatorSpec,
     ProcessBackedTransform,
@@ -85,6 +90,7 @@ from repro.stream.mp import (
 from repro.stream.operators import FunctionTransform, Operator, Sink, Source, Transform
 from repro.stream.planner import PhysicalOperator, PhysicalPlan, Planner
 from repro.stream.query import Query, QueryError, QueryResult
+from repro.stream.shard import CellTask, ShardConfig, ShardCoordinator, run_sharded
 from repro.stream.queues import END_OF_STREAM, QueueStats, SmartQueue
 from repro.stream.supervision import (
     RetryPolicy,
@@ -115,6 +121,8 @@ __all__ = [
     "InjectedFault",
     "OperatorTimeout",
     "OperatorStalled",
+    "ShardError",
+    "ShardWorkerLost",
     "CheckpointError",
     "JournalFormatError",
     "JournalState",
@@ -150,9 +158,12 @@ __all__ = [
     "ExecutionMetrics",
     "OperatorMetrics",
     "CheckpointStats",
+    "RecoveryEvent",
+    "ShardWorkerStats",
     "StallEvent",
     "WorkerProcessStats",
     "PROCESSES",
+    "SHARDS",
     "THREADS",
     "OperatorSpec",
     "ProcessBackedTransform",
@@ -170,6 +181,10 @@ __all__ = [
     "Query",
     "QueryError",
     "QueryResult",
+    "CellTask",
+    "ShardConfig",
+    "ShardCoordinator",
+    "run_sharded",
     "END_OF_STREAM",
     "QueueStats",
     "SmartQueue",

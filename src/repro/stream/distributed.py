@@ -22,6 +22,12 @@ reproduction's substitution rule, this module simulates that deployment:
 Costs use the paper's own unit — distance computations, O(points × k ×
 iterations) — so the simulation inherits the Section 3.2 complexity
 model directly.
+
+This simulator is the *model* of the shared-nothing deployment; the real
+*runtime* is :mod:`repro.stream.shard`, which actually partitions the
+grid by cell across worker processes, with heartbeats, shard
+reassignment and bit-identical journal-replay recovery (see
+``docs/distributed.md``).
 """
 
 from __future__ import annotations

@@ -13,6 +13,8 @@ __all__ = [
     "OperatorTimeout",
     "OperatorStalled",
     "WorkerCrashed",
+    "ShardError",
+    "ShardWorkerLost",
 ]
 
 
@@ -53,6 +55,31 @@ class WorkerCrashed(StreamError):
     def __init__(self, worker_name: str, message: str) -> None:
         super().__init__(f"worker {worker_name!r}: {message}")
         self.worker_name = worker_name
+
+
+class ShardError(StreamError):
+    """The shard coordinator/worker runtime failed unrecoverably.
+
+    Raised when the coordinator itself cannot continue: no surviving
+    worker to reassign to and respawn disabled, an unusable run
+    directory, or a protocol violation.  *Recoverable* worker failures
+    never raise — they are handled by reassignment and, past the retry
+    budget, by the per-cell ``incomplete`` degrade tier.
+    """
+
+
+class ShardWorkerLost(ShardError):
+    """A shard worker died or went silent (for diagnostics / reporting).
+
+    Attributes:
+        worker_name: the lost worker (``"worker#1"``).
+        reason: ``"dead-pid"``, ``"missed-heartbeats"`` or ``"stalled"``.
+    """
+
+    def __init__(self, worker_name: str, reason: str) -> None:
+        super().__init__(f"shard worker {worker_name!r} lost: {reason}")
+        self.worker_name = worker_name
+        self.reason = reason
 
 
 class OperatorError(StreamError):

@@ -51,6 +51,7 @@ from repro.stream.metrics import (
 )
 from repro.stream.mp import (
     PROCESSES,
+    SHARDS,
     ProcessBackedTransform,
     WorkerHandle,
     resolve_backend,
@@ -143,6 +144,13 @@ class Executor:
         if not plan.operators:
             raise ValueError("plan has no operators")
         backend = resolve_backend(plan.backend, self.backend)
+        if backend == SHARDS:
+            raise ValueError(
+                "the 'shards' backend is not plan-based; use "
+                "repro.stream.shard.run_sharded, "
+                "run_partial_merge_stream(backend='shards') or "
+                "Query.with_shards(n) instead of the Executor"
+            )
         stall_timeout = (
             plan.stall_timeout if plan.stall_timeout is not None else self.stall_timeout
         )

@@ -13,6 +13,12 @@ without touching operator code, and inject
 * ``stall``   — a one-shot long sleep (a stuck queue / wedged worker),
 * ``truncate``— end a source's stream early (lost partitions).
 
+Two further kinds target :mod:`repro.stream.shard` worker *processes*
+rather than in-plan operators (``FaultPlan.wrap`` ignores them):
+
+* ``kill``           — the worker SIGKILLs itself mid-task,
+* ``heartbeat-drop`` — the worker silently stops heartbeating.
+
 Injection decisions depend only on ``(plan seed, spec index, target
 name, item index)`` — never on thread scheduling — so the same plan
 replayed over the same pipeline produces an identical injection trace
@@ -38,9 +44,13 @@ __all__ = [
     "ChaosSource",
     "ChaosTransform",
     "ChaosSink",
+    "SHARD_KINDS",
 ]
 
-_KINDS = ("crash", "delay", "stall", "truncate")
+_KINDS = ("crash", "delay", "stall", "truncate", "kill", "heartbeat-drop")
+
+#: Fault kinds handled by shard worker processes, not operator wrappers.
+SHARD_KINDS = ("kill", "heartbeat-drop")
 
 #: Default injection budget per kind; ``None`` means unlimited.  One-shot
 #: defaults keep crash faults recoverable: a restarted clone replaying its
@@ -50,6 +60,8 @@ _DEFAULT_BUDGET: dict[str, int | None] = {
     "stall": 1,
     "truncate": 1,
     "delay": None,
+    "kill": 1,
+    "heartbeat-drop": 1,
 }
 
 
@@ -59,9 +71,11 @@ class FaultSpec:
 
     Attributes:
         target: physical operator name to attack (``"partial#1"``) or a
-            logical name (``"partial"``, matching every clone).
-        kind: ``"crash"``, ``"delay"``, ``"stall"`` or ``"truncate"``
-            (``truncate`` is only meaningful on sources).
+            logical name (``"partial"``, matching every clone).  For the
+            shard kinds the target is a worker name (``"worker#1"``).
+        kind: ``"crash"``, ``"delay"``, ``"stall"``, ``"truncate"``
+            (``truncate`` is only meaningful on sources), or the
+            shard-runtime kinds ``"kill"`` / ``"heartbeat-drop"``.
         at_index: inject when the wrapper's item counter equals this
             index (counting every item the operator handles, including
             control messages).  ``None`` disables index triggering.
@@ -163,6 +177,7 @@ class FaultPlan:
             (index, spec)
             for index, spec in enumerate(self.specs)
             if spec.target in (physical_name, operator.name)
+            and spec.kind not in SHARD_KINDS
         ]
         if not indexed:
             return operator
@@ -173,6 +188,21 @@ class FaultPlan:
         if isinstance(operator, Transform):
             return ChaosTransform(self, operator, physical_name, indexed)
         raise TypeError(f"cannot wrap {operator!r}")  # pragma: no cover
+
+    def shard_specs(self, worker_name: str) -> list[tuple[int, FaultSpec]]:
+        """Indexed ``kill``/``heartbeat-drop`` specs aimed at one worker.
+
+        The shard runtime ships these to the worker process, which makes
+        the (deterministic) injection decisions locally — a killed worker
+        cannot report back, so shard-kind injections appear in the
+        coordinator's :class:`~repro.stream.metrics.RecoveryEvent` log
+        rather than in :meth:`trace`.
+        """
+        return [
+            (index, spec)
+            for index, spec in enumerate(self.specs)
+            if spec.kind in SHARD_KINDS and spec.target == worker_name
+        ]
 
     # -- injection decisions -------------------------------------------------
 

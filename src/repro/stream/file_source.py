@@ -116,7 +116,14 @@ class BucketFileSource(Source):
 
     def _quarantine(self, path: Path, error: GridBucketFormatError) -> None:
         self._quarantine_dir.mkdir(parents=True, exist_ok=True)
-        shutil.move(str(path), str(self._quarantine_dir / path.name))
+        # Same-basename buckets from different directories must not
+        # clobber each other: uniquify with a numeric suffix.
+        target = self._quarantine_dir / path.name
+        attempt = 0
+        while target.exists():
+            attempt += 1
+            target = self._quarantine_dir / f"{path.stem}.{attempt}{path.suffix}"
+        shutil.move(str(path), str(target))
         self.quarantined.append(f"{path.name}: {error}")
 
     def generate(self) -> Iterator[DataChunk]:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Iterator, Mapping
 
 import numpy as np
@@ -36,6 +36,7 @@ from repro.stream.executor import ExecutionResult, Executor
 from repro.stream.faults import FaultPlan
 from repro.stream.graph import DataflowGraph
 from repro.stream.items import CentroidMessage, DataChunk, Watermark
+from repro.stream.mp import SHARDS, resolve_backend
 from repro.stream.operators import Sink, Source, Transform
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
@@ -546,7 +547,13 @@ def run_partial_merge_stream(
             ``"processes"`` (worker processes fed over shared memory);
             ``None`` defers to the ``REPRO_STREAM_BACKEND`` environment
             variable, then ``"threads"``.  Results are bit-identical
-            across backends for a fixed seed.
+            across backends for a fixed seed.  ``"shards"`` routes the
+            whole run to the fault-tolerant shard-per-cell runtime
+            (:func:`repro.stream.shard.run_sharded`) instead of the
+            plan-based engine — shard runs are bit-identical to other
+            shard runs with the same seed, but chunk cells with per-cell
+            RNGs, so they are not bit-comparable with thread/process
+            runs.
         workers: shorthand for ``partial_clones`` aimed at the process
             backend (one worker process per clone); ignored when
             ``partial_clones`` is given explicitly.
@@ -565,6 +572,29 @@ def run_partial_merge_stream(
     if partial_clones is None and workers is not None:
         partial_clones = workers
     envelope = resources if resources is not None else ResourceManager()
+    if resolve_backend(backend) == SHARDS:
+        # Lazy import: shard pulls in multiprocessing.connection and is
+        # only needed on this path.
+        from repro.stream.shard import ShardConfig, run_sharded
+
+        shard_config = ShardConfig(n_workers=partial_clones or 2)
+        if retry_policy is not None:
+            shard_config = replace(shard_config, reassign_policy=retry_policy)
+        models, metrics = run_sharded(
+            cells,
+            k,
+            restarts=restarts,
+            seeding="random",
+            n_chunks=n_chunks,
+            resources=envelope,
+            seed=seed,
+            criterion=criterion,
+            max_iter=max_iter,
+            kernel=kernel,
+            config=shard_config,
+            fault_plan=fault_plan,
+        )
+        return models, ExecutionResult(value=models, metrics=metrics)
     graph = build_partial_merge_graph(
         cells,
         k,

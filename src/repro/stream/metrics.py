@@ -21,6 +21,8 @@ __all__ = [
     "StallEvent",
     "CheckpointStats",
     "WorkerProcessStats",
+    "ShardWorkerStats",
+    "RecoveryEvent",
     "stopwatch",
 ]
 
@@ -143,6 +145,63 @@ class WorkerProcessStats:
 
 
 @dataclass
+class ShardWorkerStats:
+    """Accounting for one shard-runtime worker (:mod:`repro.stream.shard`).
+
+    Attributes:
+        name: worker name (``"worker#1"``).
+        pid: last process id that served this worker slot.
+        cells_owned: cells ever assigned to this worker (including ones
+            later reassigned away).
+        cells_completed: cells this worker finished.
+        partitions_computed: partition summaries the worker computed
+            (journal replays excluded).
+        partitions_replayed: partition summaries the worker restored
+            from prior-epoch journals instead of recomputing.
+        heartbeats: heartbeat messages the coordinator received.
+        respawns: times the coordinator started a fresh process for this
+            worker slot after a loss.
+        lost_reason: why the worker was last declared lost (``""`` if it
+            never was): ``"dead-pid"``, ``"missed-heartbeats"`` or
+            ``"stalled"``.
+    """
+
+    name: str
+    pid: int = 0
+    cells_owned: int = 0
+    cells_completed: int = 0
+    partitions_computed: int = 0
+    partitions_replayed: int = 0
+    heartbeats: int = 0
+    respawns: int = 0
+    lost_reason: str = ""
+
+
+@dataclass(frozen=True)
+class RecoveryEvent:
+    """One worker loss the shard coordinator recovered from (or degraded).
+
+    Attributes:
+        worker_name: the lost worker.
+        reason: ``"dead-pid"``, ``"missed-heartbeats"`` or ``"stalled"``.
+        cells_reassigned: cells moved to surviving workers.
+        cells_degraded: cells marked ``incomplete`` because their
+            reassignment budget ran out.
+        replayed_records: journal records replayed while re-running the
+            reassigned cells.
+        recovery_seconds: loss detection until every reassigned cell
+            reached a terminal state (done or degraded).
+    """
+
+    worker_name: str
+    reason: str
+    cells_reassigned: int
+    cells_degraded: int
+    replayed_records: int
+    recovery_seconds: float
+
+
+@dataclass
 class CheckpointStats:
     """Journal/recovery accounting for one checkpointed execution.
 
@@ -181,10 +240,13 @@ class ExecutionMetrics:
         stalls: watchdog stall diagnoses recorded during the run.
         checkpoint: journal/recovery accounting (``None`` when the run
             was not checkpointed).
-        backend: execution backend the plan ran on (``"threads"`` or
-            ``"processes"``).
+        backend: execution backend the plan ran on (``"threads"``,
+            ``"processes"`` or ``"shards"``).
         workers: per-worker process accounting (empty on the thread
             backend).
+        shards: per-worker shard-runtime accounting (empty off the
+            shard backend).
+        recoveries: worker losses the shard coordinator handled.
     """
 
     wall_seconds: float = 0.0
@@ -195,6 +257,8 @@ class ExecutionMetrics:
     checkpoint: CheckpointStats | None = None
     backend: str = "threads"
     workers: list[WorkerProcessStats] = field(default_factory=list)
+    shards: list[ShardWorkerStats] = field(default_factory=list)
+    recoveries: list[RecoveryEvent] = field(default_factory=list)
 
     @property
     def total_retries(self) -> int:
@@ -284,6 +348,16 @@ class ExecutionMetrics:
         """Point-array bytes transferred via shared memory."""
         return sum(worker.shm_bytes for worker in self.workers)
 
+    @property
+    def total_reassignments(self) -> int:
+        """Cells moved between shard workers after a loss."""
+        return sum(event.cells_reassigned for event in self.recoveries)
+
+    @property
+    def total_replayed_records(self) -> int:
+        """Journal records replayed during shard recoveries."""
+        return sum(event.replayed_records for event in self.recoveries)
+
     def busy_seconds_for(self, logical_name: str) -> float:
         """Total busy time across all clones of a logical operator."""
         prefix = f"{logical_name}#"
@@ -333,6 +407,25 @@ class ExecutionMetrics:
                     f"shm={worker.shm_bytes / 1e6:.1f}MB "
                     f"spawn={worker.spawn_seconds:.3f}s"
                 )
+        if self.shards:
+            lines.append(f"  backend: {self.backend}")
+            for shard in sorted(self.shards, key=lambda s: s.name):
+                lines.append(
+                    f"  shard {shard.name:<14} pid={shard.pid:<7} "
+                    f"cells={shard.cells_completed}/{shard.cells_owned} "
+                    f"partials={shard.partitions_computed} "
+                    f"replayed={shard.partitions_replayed} "
+                    f"heartbeats={shard.heartbeats}"
+                    + (f" lost={shard.lost_reason}" if shard.lost_reason else "")
+                )
+        for event in self.recoveries:
+            lines.append(
+                f"  recovery: {event.worker_name} ({event.reason}) "
+                f"reassigned={event.cells_reassigned} "
+                f"degraded={event.cells_degraded} "
+                f"replayed_records={event.replayed_records} "
+                f"latency={event.recovery_seconds:.3f}s"
+            )
         for stage, counters in sorted(self.kernel_counters.items()):
             computed = counters.get("distance_evals_computed", 0)
             skipped = counters.get("distance_evals_skipped", 0)

@@ -50,6 +50,7 @@ from repro.stream.operators import Transform
 __all__ = [
     "THREADS",
     "PROCESSES",
+    "SHARDS",
     "BACKEND_ENV_VAR",
     "OperatorSpec",
     "ProcessBackedTransform",
@@ -63,7 +64,8 @@ __all__ = [
 
 THREADS = "threads"
 PROCESSES = "processes"
-_BACKENDS = (THREADS, PROCESSES)
+SHARDS = "shards"
+_BACKENDS = (THREADS, PROCESSES, SHARDS)
 
 #: Environment override for the default backend; lets CI smoke the whole
 #: stream test suite on the process backend without touching call sites.
@@ -90,16 +92,27 @@ def resolve_backend(*candidates: str | None) -> str:
             skipped (e.g. ``resolve_backend(plan.backend, self.backend)``).
 
     Returns:
-        ``"threads"`` or ``"processes"``; falls back to the
-        :data:`BACKEND_ENV_VAR` environment variable and finally to
+        ``"threads"``, ``"processes"`` or ``"shards"``; falls back to
+        the :data:`BACKEND_ENV_VAR` environment variable and finally to
         ``"threads"``.
+
+    Raises:
+        ValueError: when a candidate — or the environment variable — is
+            not a known backend name.  A typo'd ``REPRO_STREAM_BACKEND``
+            must fail loudly, not silently run on the default backend.
     """
     for candidate in candidates:
         if candidate is not None:
             return validate_backend(candidate)
     env = os.environ.get(BACKEND_ENV_VAR)
-    if env:
-        return validate_backend(env)
+    if env is not None and env.strip():
+        value = env.strip()
+        if value not in _BACKENDS:
+            raise ValueError(
+                f"unknown execution backend {value!r} in "
+                f"{BACKEND_ENV_VAR}; use one of {_BACKENDS}"
+            )
+        return value
     return THREADS
 
 

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.stream.faults import FaultPlan
 from repro.stream.graph import DataflowGraph
-from repro.stream.mp import validate_backend
+from repro.stream.mp import SHARDS, validate_backend
 from repro.stream.operators import Operator, Sink, Transform
 from repro.stream.queues import SmartQueue
 from repro.stream.scheduler import ResourceManager
@@ -116,7 +116,9 @@ class Planner:
             stall_timeout: arm the executor's hung-operator watchdog with
                 this deadline in seconds (``None`` leaves it off).
             backend: run cloneable transforms on ``"threads"`` or
-                ``"processes"``; ``None`` defers to the executor.
+                ``"processes"``; ``None`` defers to the executor.  The
+                ``"shards"`` backend is not plan-based and is rejected
+                here — use :func:`repro.stream.shard.run_sharded`.
 
         Returns:
             A wired physical plan.
@@ -132,7 +134,7 @@ class Planner:
             supervision=graph.supervision_policies(),
             fault_plan=fault_plan,
             stall_timeout=stall_timeout,
-            backend=validate_backend(backend) if backend is not None else None,
+            backend=self._validate_plan_backend(backend),
         )
         # One input queue per consuming logical operator.
         for name in graph.names():
@@ -165,6 +167,21 @@ class Planner:
                     )
                 )
         return plan
+
+    @staticmethod
+    def _validate_plan_backend(backend: str | None) -> str | None:
+        """Accept only plan-compatible backends (threads/processes)."""
+        if backend is None:
+            return None
+        validate_backend(backend)
+        if backend == SHARDS:
+            raise ValueError(
+                "the 'shards' backend is not plan-based; use "
+                "repro.stream.shard.run_sharded, "
+                "run_partial_merge_stream(backend='shards') or "
+                "Query.with_shards(n) instead of the Planner"
+            )
+        return backend
 
     def _decide_clones(
         self, graph: DataflowGraph, overrides: dict[str, int]

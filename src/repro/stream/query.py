@@ -58,7 +58,7 @@ from repro.stream.metrics import (
     ExecutionMetrics,
     OperatorMetrics,
 )
-from repro.stream.mp import validate_backend
+from repro.stream.mp import SHARDS, validate_backend
 from repro.stream.planner import Planner
 from repro.stream.scheduler import ResourceManager
 from repro.stream.supervision import RetryPolicy, SupervisionPolicy, Supervisor
@@ -112,6 +112,8 @@ class _QueryState:
     quarantine_dir: str | None = None
     stall_timeout: float | None = None
     backend: str | None = None
+    shards: int | None = None
+    shard_config: Any = None
     kernel: str | None = None
     prefix_queries: bool = False
     prefix_query_every: int | None = None
@@ -231,7 +233,15 @@ class Query:
             workers: shorthand for :meth:`with_partial_clones` (one
                 worker process per clone).
         """
-        self._state.backend = validate_backend(backend)
+        validated = validate_backend(backend)
+        if validated == SHARDS:
+            raise QueryError(
+                "the 'shards' backend is not plan-based; use "
+                "Query.with_shards(n) instead of with_backend('shards')"
+            )
+        if self._state.shards is not None:
+            raise QueryError("with_backend conflicts with with_shards(); set one")
+        self._state.backend = validated
         if workers is not None:
             if self._state.partial_clones is not None:
                 raise QueryError(
@@ -240,6 +250,38 @@ class Query:
             if workers < 1:
                 raise QueryError(f"workers must be >= 1, got {workers}")
             self._state.partial_clones = workers
+        return self
+
+    def with_shards(self, shards: int, config: Any = None) -> "Query":
+        """Run the query on the fault-tolerant shard-per-cell runtime.
+
+        Instead of compiling a plan, :meth:`execute` hands the cells to
+        :func:`repro.stream.shard.run_sharded`: ``shards`` worker
+        processes each own a subset of the cells, journal their progress
+        and survive worker loss (crash, silence, stall) with
+        bit-identical recovery.  See :mod:`repro.stream.shard`.
+
+        Shard runs are bit-identical to other shard runs with the same
+        seed (regardless of ``shards`` or injected worker faults), but
+        chunk cells with per-cell RNGs, so they are not bit-comparable
+        with thread/process runs.
+
+        Args:
+            shards: worker processes to spawn.
+            config: optional :class:`~repro.stream.shard.ShardConfig`
+                carrying the remaining tuning (transport, heartbeats,
+                reassignment budget); its ``n_workers`` is overridden by
+                ``shards``.
+
+        Raises:
+            QueryError: if ``shards < 1`` or a backend was already set.
+        """
+        if shards < 1:
+            raise QueryError(f"shards must be >= 1, got {shards}")
+        if self._state.backend is not None:
+            raise QueryError("with_shards conflicts with with_backend(); set one")
+        self._state.shards = shards
+        self._state.shard_config = config
         return self
 
     def with_kernel(self, kernel: str) -> "Query":
@@ -506,11 +548,76 @@ class Query:
             A :class:`QueryResult` with per-cell models and metrics.
         """
         self._validate()
+        if self._state.shards is not None:
+            return self._shard_execute(fault_plan)
         if self._state.checkpoint_dir is not None:
             return self._checkpointed_execute(fault_plan)
         graph = self._build_graph()
         outcome = self._run_plan(graph, fault_plan)
         return self._to_result(graph, outcome)
+
+    def _shard_execute(self, fault_plan: FaultPlan | None) -> QueryResult:
+        """Route the query to the shard-per-cell runtime."""
+        from dataclasses import replace
+
+        from repro.data.gridio import read_bucket_file
+        from repro.stream.shard import ShardConfig, run_sharded
+
+        state = self._state
+        if state.checkpoint_dir is not None:
+            raise QueryError(
+                "checkpoint() is not supported with with_shards(): the "
+                "shard runtime journals per cell internally"
+            )
+        if state.prefix_queries:
+            raise QueryError(
+                "with_prefix_queries() is not supported with with_shards()"
+            )
+        if state.source_kind == "cells":
+            cells = state.source_args["cells"]
+        else:
+            directory = Path(state.source_args["directory"])
+            paths = (
+                [directory]
+                if directory.is_file()
+                else sorted(directory.glob("*.gbk"))
+            )
+            if not paths:
+                raise QueryError(f"no .gbk bucket files under {directory}")
+            cells = {}
+            for path in paths:
+                bucket = read_bucket_file(path)
+                cells[bucket.cell_id.key] = bucket.points
+        cluster = dict(state.cluster_args or {})
+        merge = dict(state.merge_args or {})
+        config = (
+            state.shard_config
+            if state.shard_config is not None
+            else ShardConfig()
+        )
+        overrides: dict[str, Any] = {"n_workers": state.shards}
+        if state.retry_policy is not None:
+            overrides["reassign_policy"] = state.retry_policy
+        if state.stall_timeout is not None:
+            overrides["stall_timeout"] = state.stall_timeout
+        config = replace(config, **overrides)
+        models, metrics = run_sharded(
+            cells,
+            cluster["k"],
+            restarts=cluster["restarts"],
+            seeding=cluster["seeding"],
+            n_chunks=state.n_chunks,
+            resources=self._resources(),
+            seed=state.seed,
+            merge_k=merge.get("k"),
+            criterion=cluster["criterion"],
+            max_iter=cluster["max_iter"],
+            kernel=state.kernel,
+            config=config,
+            fault_plan=fault_plan,
+        )
+        execution = ExecutionResult(value=models, metrics=metrics)
+        return QueryResult(models=models, execution=execution)
 
     def _offline_tree_sink(self, journal_state: JournalState) -> CoresetTreeSink:
         """Rebuild per-cell coreset trees from a complete journal.

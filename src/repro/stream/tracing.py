@@ -36,6 +36,31 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
             }
             for worker in metrics.workers
         ],
+        "shards": [
+            {
+                "name": shard.name,
+                "pid": shard.pid,
+                "cells_owned": shard.cells_owned,
+                "cells_completed": shard.cells_completed,
+                "partitions_computed": shard.partitions_computed,
+                "partitions_replayed": shard.partitions_replayed,
+                "heartbeats": shard.heartbeats,
+                "respawns": shard.respawns,
+                "lost_reason": shard.lost_reason,
+            }
+            for shard in metrics.shards
+        ],
+        "recoveries": [
+            {
+                "worker_name": event.worker_name,
+                "reason": event.reason,
+                "cells_reassigned": event.cells_reassigned,
+                "cells_degraded": event.cells_degraded,
+                "replayed_records": event.replayed_records,
+                "recovery_seconds": event.recovery_seconds,
+            }
+            for event in metrics.recoveries
+        ],
         "operators": [
             {
                 "name": op.name,
@@ -65,6 +90,8 @@ def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
             "injected_faults": metrics.injected_faults,
             "quarantined_files": metrics.quarantined_files,
             "incomplete_cells": metrics.incomplete_cells,
+            "total_reassignments": metrics.total_reassignments,
+            "total_replayed_records": metrics.total_replayed_records,
         },
         "queues": {
             name: {

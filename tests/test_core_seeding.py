@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.seeding import (
     distinct_random_seeds,
+    kmeans_parallel_seeds,
     kmeans_plus_plus_seeds,
     largest_weight_seeds,
     random_seeds,
@@ -128,8 +129,86 @@ class TestKMeansPlusPlus:
         assert seeds[0, 0] == 0.0
 
 
+class TestKMeansParallelSeeds:
+    def test_shape_and_membership(self, rng, blobs_2d):
+        seeds = kmeans_parallel_seeds(blobs_2d, 4, rng)
+        assert seeds.shape == (4, 2)
+        assert _rows_in(blobs_2d, seeds)
+
+    def test_spreads_across_blobs(self, blobs_2d, blob_centers_2d):
+        hits = 0
+        for trial in range(5):
+            seeds = kmeans_parallel_seeds(
+                blobs_2d, 4, np.random.default_rng(trial)
+            )
+            assigned = {
+                int(np.argmin(((blob_centers_2d - s) ** 2).sum(axis=1)))
+                for s in seeds
+            }
+            hits += len(assigned) == 4
+        # The oversampled candidate pool covers every blob essentially
+        # always; the reduction keeps one seed per blob.
+        assert hits >= 4
+
+    def test_deterministic_given_seed(self, blobs_2d):
+        a = kmeans_parallel_seeds(blobs_2d, 6, np.random.default_rng(5))
+        b = kmeans_parallel_seeds(blobs_2d, 6, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_k_clamped_to_n(self, rng):
+        points = np.arange(6, dtype=float).reshape(-1, 1)
+        seeds = kmeans_parallel_seeds(points, 50, rng)
+        assert seeds.shape == (6, 1)
+
+    def test_handles_all_identical_points(self, rng):
+        points = np.ones((10, 2))
+        seeds = kmeans_parallel_seeds(points, 3, rng)
+        assert seeds.shape == (3, 2)
+
+    def test_weight_aware(self, rng):
+        points = np.array([[0.0], [100.0], [100.1]])
+        seeds = kmeans_parallel_seeds(
+            points, 1, rng, weights=np.array([1e9, 1e-9, 1e-9])
+        )
+        assert seeds[0, 0] == 0.0
+
+    def test_rejects_bad_rounds_and_oversampling(self, rng, blobs_2d):
+        with pytest.raises(ValueError, match="rounds"):
+            kmeans_parallel_seeds(blobs_2d, 4, rng, rounds=0)
+        with pytest.raises(ValueError, match="oversampling"):
+            kmeans_parallel_seeds(blobs_2d, 4, rng, oversampling=0.0)
+
+    def test_quality_beats_random_on_average(self, blobs_2d):
+        """One k-means|| seed set should rival multi-restart random seeds
+        (the property the restart-free shard path relies on)."""
+        from repro.core.kmeans import lloyd
+
+        def final_mse(seeds):
+            return lloyd(blobs_2d, seeds).mse
+
+        parallel = np.mean(
+            [
+                final_mse(
+                    kmeans_parallel_seeds(
+                        blobs_2d, 4, np.random.default_rng(t)
+                    )
+                )
+                for t in range(5)
+            ]
+        )
+        random = np.mean(
+            [
+                final_mse(random_seeds(blobs_2d, 4, np.random.default_rng(t)))
+                for t in range(5)
+            ]
+        )
+        assert parallel <= random * 1.05
+
+
 class TestResolveStrategy:
-    @pytest.mark.parametrize("name", ["random", "distinct", "kmeans++"])
+    @pytest.mark.parametrize(
+        "name", ["random", "distinct", "kmeans++", "kmeans||"]
+    )
     def test_known_strategies(self, name):
         assert callable(resolve_strategy(name))
 

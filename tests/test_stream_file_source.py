@@ -148,6 +148,32 @@ class TestCorruptionPolicies:
         assert len(source.quarantined) == 1
         assert source.quarantined[0].startswith(bad_name)
 
+    def test_quarantine_uniquifies_same_basename(self, tmp_path):
+        """Same-basename corrupt buckets must not clobber each other."""
+        cells = [GridCell(GridCellId(10, 20), generate_cell_points(100, seed=1))]
+        dir_a = tmp_path / "a"
+        dir_b = tmp_path / "b"
+        dir_c = tmp_path / "c"
+        for directory in (dir_a, dir_b, dir_c):
+            write_bucket_dir(directory, cells)
+            corrupt_header(directory / "lat10lon20.gbk")
+        quarantine = tmp_path / "shared-quarantine"
+        for directory in (dir_a, dir_b, dir_c):
+            source = BucketFileSource(
+                directory,
+                n_chunks=2,
+                on_corrupt=QUARANTINE,
+                quarantine_dir=quarantine,
+            )
+            assert list(source.generate()) == []
+            assert len(source.quarantined) == 1
+        moved = sorted(p.name for p in quarantine.glob("*.gbk"))
+        assert moved == [
+            "lat10lon20.1.gbk",
+            "lat10lon20.2.gbk",
+            "lat10lon20.gbk",
+        ]
+
     def test_quarantine_mid_stream_corruption(self, bucket_dir):
         directory, cells = bucket_dir
         bad = sorted(directory.glob("*.gbk"))[0]

@@ -78,6 +78,25 @@ class TestBackendResolution:
         assert resolve_backend(None) == PROCESSES
         assert resolve_backend(THREADS) == THREADS  # explicit wins
 
+    def test_unknown_environment_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "gpu")
+        with pytest.raises(ValueError) as excinfo:
+            resolve_backend(None)
+        # The message must say where the bad value came from and what
+        # would have been accepted.
+        assert BACKEND_ENV_VAR in str(excinfo.value)
+        assert "gpu" in str(excinfo.value)
+        for valid in (THREADS, PROCESSES):
+            assert valid in str(excinfo.value)
+
+    def test_environment_value_whitespace_stripped(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, f"  {PROCESSES}\n")
+        assert resolve_backend(None) == PROCESSES
+
+    def test_blank_environment_value_falls_back(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "   ")
+        assert resolve_backend(None) == THREADS
+
 
 class TestOperatorSpec:
     def test_partial_operator_supports_backend(self):

@@ -105,6 +105,39 @@ class TestCrashAndResume:
         baseline = plain_query(bucket_dir).execute()
         assert_models_bit_identical(baseline.models, resumed.models)
 
+    def test_resume_after_torn_write_is_bit_identical(
+        self, bucket_dir, tmp_path
+    ):
+        """A journal truncated mid-record (a torn write: the process died
+        inside a CRC frame) must resume cleanly from the last whole
+        record and still produce bit-identical models."""
+        run_dir = tmp_path / "run"
+        checkpointed_query(bucket_dir, run_dir).execute()
+        journal = run_dir / JOURNAL_FILENAME
+        whole = read_journal(journal)
+        assert whole.complete and not whole.torn
+
+        # Tear the tail: cut inside the final record's payload, leaving
+        # its CRC frame half-written.
+        size = journal.stat().st_size
+        with journal.open("r+b") as handle:
+            handle.truncate(size - 3)
+
+        torn = read_journal(journal)
+        assert torn.torn
+        assert not torn.complete
+        assert torn.valid_bytes < size - 3
+        # Every record before the tear decoded; only the torn one is gone.
+        assert torn.records == whole.records - 1
+
+        resumed = checkpointed_query(bucket_dir, run_dir).execute()
+        assert resumed.execution.metrics.checkpoint.resumed
+        baseline = plain_query(bucket_dir).execute()
+        assert_models_bit_identical(baseline.models, resumed.models)
+        # The rewritten journal is whole again.
+        healed = read_journal(journal)
+        assert healed.complete and not healed.torn
+
     def test_resume_of_complete_run_touches_no_buckets(
         self, bucket_dir, tmp_path
     ):
