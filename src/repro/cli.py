@@ -12,6 +12,9 @@ Subcommands:
   partial/merge k-means and compare.
 * ``compress`` — cluster + compress every bucket in a directory into
   ``.mvh`` histograms and report fidelity.
+* ``serve`` — keep a run's models hot in memory and answer
+  assign/summary/prefix/window queries over a newline-JSON protocol on
+  stdin/stdout, or drive the built-in load generator.
 
 Example::
 
@@ -358,6 +361,113 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_payload(result) -> object:
+    """JSON-safe payload for one protocol response."""
+    if hasattr(result, "to_payload"):
+        return result.to_payload()
+    # PrefixQuery (prefix/window answers) has no to_payload; flatten the
+    # deterministic clustering plus the cache diagnostics.
+    if hasattr(result, "model") and hasattr(result, "nodes_reused"):
+        return {
+            "cell": result.cell_id,
+            "start": result.start,
+            "upto": result.upto,
+            "k": result.model.k,
+            "centroids": result.model.centroids.tolist(),
+            "weights": result.model.weights.tolist(),
+            "nodes_reused": result.nodes_reused,
+            "cached": result.cached,
+            "seconds": result.seconds,
+        }
+    return result
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ClusterServer, LoadGenerator, ModelRegistry
+
+    registry = ModelRegistry(
+        args.run_dir,
+        k=args.k,
+        seed=args.seed,
+        restarts=args.restarts,
+        kernel=None if args.kernel == "dense" else args.kernel,
+        ttl_seconds=args.ttl or None,
+        fsync=not args.no_fsync,
+    )
+    stats = registry.stats()
+    print(
+        f"warm start: {stats['resident_cells']} cell(s), "
+        f"{stats['partitions']} partition(s) "
+        f"(adopted={stats['cells_adopted']} "
+        f"replayed={stats['partitions_replayed']} "
+        f"nodes={stats['nodes_preloaded']}) "
+        f"in {stats['recovery_seconds']:.3f}s",
+        file=sys.stderr,
+    )
+    with ClusterServer(
+        registry,
+        max_batch=args.max_batch,
+        max_delay_seconds=args.batch_delay,
+        query_workers=args.query_workers,
+    ) as server:
+        if args.load_duration:
+            cells = server.cells()
+            if not cells:
+                print("error: journal has no cells to serve", file=sys.stderr)
+                return 2
+            generator = LoadGenerator(
+                server, cells, seed=args.load_seed
+            )
+            report = generator.run(
+                args.load_duration, concurrency=args.load_concurrency
+            )
+            print("\n".join(report.summary_lines()))
+            if args.bench_json:
+                payload = server.metrics.snapshot()
+                payload["registry"] = registry.stats()
+                payload["load"] = report.to_payload()
+                from pathlib import Path
+
+                Path(args.bench_json).write_text(
+                    json.dumps(payload, indent=2)
+                )
+                print(f"bench: {args.bench_json}")
+            return 0
+
+        # Protocol mode: one JSON request per stdin line, one JSON
+        # response per stdout line.  JSON floats round-trip float64
+        # exactly, so responses preserve model bits — the warm-restart
+        # test compares them byte for byte across a SIGKILL.
+        print(json.dumps({"ready": True, "cells": server.cells()}), flush=True)
+        for line in sys.stdin:
+            line = line.strip()
+            if not line:
+                continue
+            request = json.loads(line)
+            if request.get("op") == "shutdown":
+                print(json.dumps({"ok": True, "bye": True}), flush=True)
+                break
+            req_id = request.pop("id", None)
+            op = request.pop("op", None)
+            cell = request.pop("cell", None)
+            try:
+                result = server.submit(op, cell, **request).result()
+                response = {
+                    "id": req_id,
+                    "ok": True,
+                    "result": _serve_payload(result),
+                }
+            except Exception as exc:
+                response = {"id": req_id, "ok": False, "error": str(exc)}
+            print(json.dumps(response), flush=True)
+        print(
+            "\n".join(server.metrics.summary_lines()), file=sys.stderr
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     parser = argparse.ArgumentParser(
@@ -552,6 +662,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_compress.add_argument("--restarts", type=int, default=5)
     p_compress.add_argument("--seed", type=int, default=0)
     p_compress.set_defaults(fn=_cmd_compress)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a run's models hot from its journal"
+    )
+    p_serve.add_argument(
+        "run_dir",
+        help="run directory holding (or about to hold) the .rjl journal",
+    )
+    p_serve.add_argument(
+        "--k",
+        type=int,
+        default=8,
+        help="centroids for cells the journal gives no model for",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--restarts", type=int, default=3)
+    p_serve.add_argument(
+        "--kernel",
+        choices=["dense", "hamerly", "tiled"],
+        default="dense",
+        help="Lloyd assignment kernel (bit-identical; speed only)",
+    )
+    p_serve.add_argument(
+        "--ttl",
+        type=float,
+        default=0.0,
+        help="mark responses stale when the model is older than this "
+        "many seconds (0 disables)",
+    )
+    p_serve.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip per-record journal fsync (faster ingest, less durable)",
+    )
+    p_serve.add_argument("--max-batch", type=int, default=32)
+    p_serve.add_argument(
+        "--batch-delay",
+        type=float,
+        default=0.002,
+        help="micro-batch collection window in seconds",
+    )
+    p_serve.add_argument("--query-workers", type=int, default=2)
+    p_serve.add_argument(
+        "--load-duration",
+        type=float,
+        default=0.0,
+        help="instead of serving stdin, fire the built-in load "
+        "generator for this many seconds and print the report",
+    )
+    p_serve.add_argument("--load-concurrency", type=int, default=4)
+    p_serve.add_argument("--load-seed", type=int, default=0)
+    p_serve.add_argument(
+        "--bench-json",
+        default=None,
+        help="with --load-duration, write serving metrics + load report "
+        "as JSON to this path",
+    )
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_cluster = sub.add_parser("cluster", help="cluster one bucket file")
     p_cluster.add_argument("bucket")

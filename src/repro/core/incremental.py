@@ -22,6 +22,8 @@ bound the drift by periodically re-merging retained summaries.
 
 from __future__ import annotations
 
+from dataclasses import replace
+
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
@@ -30,7 +32,71 @@ from repro.core.merge import merge_kmeans
 from repro.core.model import ClusterModel, WeightedCentroidSet, as_points
 from repro.core.partial import partial_kmeans
 
-__all__ = ["update_model", "IncrementalClusterer"]
+__all__ = ["fold_summary", "update_model", "IncrementalClusterer"]
+
+
+def fold_summary(
+    model: ClusterModel | None,
+    summary: WeightedCentroidSet,
+    k: int | None = None,
+    criterion: ConvergenceCriterion | None = None,
+    max_iter: int = DEFAULT_MAX_ITER,
+    kernel: str | None = None,
+) -> ClusterModel:
+    """Merge an already-computed partition summary into a cell model.
+
+    This is the second half of :func:`update_model` — the deterministic
+    weighted merge of {old model, new summary} — exposed on its own so
+    callers that journal the summary (the serving layer's ingest path)
+    can replay the exact fold after a restart: :func:`merge_kmeans` uses
+    deterministic largest-weight seeding, so the folded model is a pure
+    function of ``(model, summary)``.
+
+    Args:
+        model: the current cell model, ``None`` for a brand-new cell, or
+            a :meth:`ClusterModel.empty` watermark (a zero-point cell);
+            both of the latter bootstrap from ``summary`` alone.
+        summary: the new chunk's weighted centroid summary.
+        k: centroids in the folded model; defaults to ``model.k`` and is
+            **required** when ``model`` is ``None`` or empty.
+        criterion: convergence criterion for the merge.
+        max_iter: Lloyd cap for the merge.
+        kernel: assignment backend for the merge (bit-identical across
+            kernels; performance knob only).
+
+    Returns:
+        A new :class:`ClusterModel` whose weights sum to
+        ``old mass + summary mass``.
+
+    Raises:
+        ValueError: ``model`` is ``None``/empty and ``k`` was not given.
+    """
+    base_populated = model is not None and model.k > 0
+    if k is None:
+        if not base_populated:
+            raise ValueError(
+                "cannot fold into an empty model without k: pass k= to "
+                "bootstrap a zero-point-cell watermark or a new cell"
+            )
+        k = model.k
+    pool = [model.to_weighted_set()] if base_populated else []
+    pool.append(summary)
+    merged = merge_kmeans(
+        pool, k, criterion=criterion, max_iter=max_iter, kernel=kernel
+    )
+    base = model if model is not None else ClusterModel.empty(summary.dim)
+    return ClusterModel(
+        centroids=merged.model.centroids,
+        weights=merged.model.weights,
+        mse=merged.mse,
+        method="partial/merge[incremental-update]",
+        partitions=base.partitions + 1,
+        restarts=base.restarts,
+        partial_seconds=base.partial_seconds,
+        merge_seconds=base.merge_seconds + merged.seconds,
+        total_seconds=base.total_seconds + merged.seconds,
+        extra={"updates": base.extra.get("updates", 0) + 1},
+    )
 
 
 def update_model(
@@ -40,49 +106,65 @@ def update_model(
     rng: np.random.Generator | None = None,
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
+    k: int | None = None,
+    kernel: str | None = None,
 ) -> ClusterModel:
     """Fold ``new_points`` into an existing cell model.
 
     Args:
         model: the current cell model (its weights are point counts).
+            A :meth:`ClusterModel.empty` watermark — what zero-point
+            cells emit — is bootstrapped from the new points alone,
+            provided ``k`` is given.
         new_points: newly arrived measurements for the same cell.
         restarts: seed restarts for the new chunk's partial k-means.
         rng: randomness for the partial step (fresh default if ``None``).
         criterion: convergence criterion for both stages.
         max_iter: Lloyd cap for both stages.
+        k: centroids for the update; defaults to ``model.k`` and is
+            **required** when ``model`` is an empty watermark.
+        kernel: assignment backend for both stages.
 
     Returns:
         A new :class:`ClusterModel` with ``k`` preserved and weights
         summing to ``old mass + len(new_points)``.
+
+    Raises:
+        ValueError: ``model`` is an empty watermark and ``k`` was not
+            given.
     """
     pts = as_points(new_points)
     generator = rng if rng is not None else np.random.default_rng()
+    if k is None:
+        if model.k == 0:
+            raise ValueError(
+                "model is an empty zero-point-cell watermark: pass k= "
+                "to bootstrap it from the new points"
+            )
+        k = model.k
     fresh = partial_kmeans(
         pts,
-        model.k,
+        k,
         restarts,
         generator,
         source="update",
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
     )
-    merged = merge_kmeans(
-        [model.to_weighted_set(), fresh.summary],
-        model.k,
+    folded = fold_summary(
+        model,
+        fresh.summary,
+        k=k,
         criterion=criterion,
         max_iter=max_iter,
+        kernel=kernel,
     )
-    return ClusterModel(
-        centroids=merged.model.centroids,
-        weights=merged.model.weights,
-        mse=merged.mse,
-        method="partial/merge[incremental-update]",
-        partitions=model.partitions + 1,
+    return replace(
+        folded,
         restarts=restarts,
-        partial_seconds=model.partial_seconds + fresh.seconds,
-        merge_seconds=model.merge_seconds + merged.seconds,
-        total_seconds=model.total_seconds + fresh.seconds + merged.seconds,
-        extra={"updates": model.extra.get("updates", 0) + 1},
+        partial_seconds=folded.partial_seconds + fresh.seconds,
+        total_seconds=folded.total_seconds + fresh.seconds,
     )
 
 
@@ -145,6 +227,23 @@ class IncrementalClusterer:
     def chunks_seen(self) -> int:
         """Chunks folded in so far."""
         return self._chunks_seen
+
+    def adopt(self, model: ClusterModel) -> None:
+        """Fold an existing cell model (e.g. journal-replayed) into state.
+
+        The model's weighted centroids join the retained summaries as if
+        they were a chunk summary, so a clusterer can warm-start from a
+        journaled model and keep folding new chunks after it.  An empty
+        :meth:`ClusterModel.empty` watermark — what zero-point cells
+        emit — is a no-op rather than an error: the cell simply has no
+        mass to contribute yet.
+        """
+        if model.k == 0:
+            return
+        self._retained.append(model.to_weighted_set())
+        self._points_seen += int(round(float(model.weights.sum())))
+        if len(self._retained) >= self.refresh_every:
+            self._compact()
 
     def add(self, chunk: np.ndarray) -> None:
         """Fold one chunk of new points into the running state."""

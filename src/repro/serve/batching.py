@@ -1,0 +1,149 @@
+"""Request micro-batching for the serving layer.
+
+Interactive serving under load wants neither one-lock-round-trip-per-
+request (throughput dies) nor unbounded queueing (latency dies).  The
+middle ground is the classic micro-batch: the first waiting request
+opens a window of ``max_delay_seconds``; every request arriving inside
+the window joins the batch, up to ``max_batch``; the batch then closes
+and is dispatched as one unit.  Requests for the same ``(op, cell)``
+are grouped so the dispatcher can answer them with one model read (an
+``assign`` group becomes a single pooled distance computation).
+
+Latency cost is bounded by ``max_delay_seconds`` (default 2 ms); an
+idle server dispatches a lone request after at most that delay.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+__all__ = ["PendingRequest", "RequestBatcher", "group_requests"]
+
+#: Sentinel enqueued by :meth:`RequestBatcher.close` to wake the
+#: dispatcher for shutdown.
+_CLOSE = object()
+
+
+@dataclass
+class PendingRequest:
+    """One enqueued request awaiting dispatch.
+
+    Attributes:
+        op: endpoint name (``"assign"``, ``"summary"``, ``"ingest"``, ...).
+        cell: target cell id (``None`` for registry-level ops).
+        payload: endpoint-specific arguments.
+        future: resolved with the endpoint's answer (or its exception).
+        enqueued_at: perf-counter timestamp of submission — request
+            latency and ingest update lag are both measured from here.
+    """
+
+    op: str
+    cell: str | None
+    payload: dict
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class RequestBatcher:
+    """Thread-safe micro-batch collector.
+
+    Args:
+        max_batch: requests per batch before it closes early.
+        max_delay_seconds: window a batch stays open after its first
+            request arrives.
+    """
+
+    def __init__(
+        self, max_batch: int = 32, max_delay_seconds: float = 0.002
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_seconds < 0:
+            raise ValueError(
+                f"max_delay_seconds must be >= 0, got {max_delay_seconds}"
+            )
+        self.max_batch = max_batch
+        self.max_delay_seconds = max_delay_seconds
+        self._queue: queue.Queue = queue.Queue()
+        self._closed = False
+
+    def submit(
+        self, op: str, cell: str | None = None, payload: dict | None = None
+    ) -> PendingRequest:
+        """Enqueue one request; returns it with an unresolved future."""
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        request = PendingRequest(op=op, cell=cell, payload=payload or {})
+        self._queue.put(request)
+        return request
+
+    def next_batch(self, timeout: float = 0.1) -> list[PendingRequest] | None:
+        """Collect the next micro-batch.
+
+        Blocks up to ``timeout`` for the first request; once one
+        arrives, keeps collecting until ``max_batch`` requests are in
+        hand or ``max_delay_seconds`` has passed since the first.
+
+        Returns:
+            The batch, ``None`` if nothing arrived within ``timeout``,
+            or ``[]`` once the batcher has been closed and drained.
+        """
+        try:
+            first = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return [] if self._closed else None
+        if first is _CLOSE:
+            return []
+        batch = [first]
+        deadline = time.perf_counter() + self.max_delay_seconds
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                request = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if request is _CLOSE:
+                break
+            batch.append(request)
+        return batch
+
+    def close(self) -> None:
+        """Stop accepting requests and wake the dispatcher (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._queue.put(_CLOSE)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (approximate)."""
+        return self._queue.qsize()
+
+
+def group_requests(
+    batch: list[PendingRequest],
+) -> list[tuple[tuple[str, str | None], list[PendingRequest]]]:
+    """Group a batch by ``(op, cell)``, preserving first-arrival order.
+
+    Within a group, requests keep their arrival order — the ingest
+    endpoint's per-cell ordering guarantee rests on this plus the
+    dispatcher applying ingest groups inline.
+    """
+    groups: dict[tuple[str, str | None], list[PendingRequest]] = {}
+    order: list[tuple[str, str | None]] = []
+    for request in batch:
+        key = (request.op, request.cell)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(request)
+    return [(key, groups[key]) for key in order]

@@ -1,0 +1,309 @@
+"""Async clustering server over a warm :class:`ModelRegistry`.
+
+:class:`ClusterServer` is the long-lived serving loop: client threads
+submit requests and receive futures; a dispatcher thread drains the
+:class:`~repro.serve.batching.RequestBatcher`, groups each micro-batch
+by ``(endpoint, cell)`` and answers groups with single registry calls —
+an ``assign`` group for one cell costs one pooled distance computation
+regardless of how many clients are in it.
+
+Ordering and consistency:
+
+* **ingest** groups are applied inline on the dispatcher thread, in
+  arrival order — per-cell fold order (and therefore the journal, and
+  therefore the warm-restart bits) never depends on scheduling;
+* **query** groups run on a small thread pool, so slow queries for one
+  cell do not convoy cheap queries for another;
+* every response is computed under the cell's lock against a single
+  model version — a batch never observes a half-applied fold.
+
+Endpoint latencies (measured enqueue-to-answer, the number a client
+feels) and ingest update lag flow into
+:class:`~repro.stream.metrics.ServingMetrics`, exportable as JSON via
+:func:`repro.stream.tracing.dump_serving_json`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from repro.core.model import as_points
+from repro.serve.batching import PendingRequest, RequestBatcher, group_requests
+from repro.serve.registry import AssignResult, ModelRegistry, ServeError
+from repro.stream.metrics import ServingMetrics
+
+__all__ = ["ClusterServer"]
+
+#: Endpoints answered by the server, in documentation order.
+ENDPOINTS = (
+    "assign",
+    "nearest",
+    "summary",
+    "prefix",
+    "window",
+    "ingest",
+    "cells",
+    "stats",
+)
+
+
+class ClusterServer:
+    """Micro-batched request server over one :class:`ModelRegistry`.
+
+    Args:
+        registry: the warm model registry to serve.
+        max_batch: requests per micro-batch before early dispatch.
+        max_delay_seconds: micro-batch collection window (the bounded
+            latency cost of batching).
+        query_workers: threads answering query groups concurrently
+            (``0`` answers everything inline on the dispatcher thread —
+            fully deterministic scheduling, for tests).
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 32,
+        max_delay_seconds: float = 0.002,
+        query_workers: int = 2,
+    ) -> None:
+        if query_workers < 0:
+            raise ValueError(
+                f"query_workers must be >= 0, got {query_workers}"
+            )
+        self.registry = registry
+        self.metrics = ServingMetrics()
+        self._batcher = RequestBatcher(
+            max_batch=max_batch, max_delay_seconds=max_delay_seconds
+        )
+        self._query_workers = query_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._dispatcher: threading.Thread | None = None
+        self._started = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "ClusterServer":
+        """Start the dispatcher (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        if self._query_workers:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._query_workers,
+                thread_name_prefix="serve-query",
+            )
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="serve-dispatch", daemon=True
+        )
+        self._dispatcher.start()
+        return self
+
+    def close(self) -> None:
+        """Drain in-flight requests, stop threads, close the registry."""
+        if self._closed:
+            return
+        self._closed = True
+        self._batcher.close()
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout=30.0)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self.registry.close()
+
+    def __enter__(self) -> "ClusterServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, op: str, cell: str | None = None, **payload
+    ) -> Future:
+        """Enqueue one request; the future resolves with the answer."""
+        if not self._started or self._closed:
+            raise RuntimeError("server is not running")
+        if op not in ENDPOINTS:
+            raise ValueError(
+                f"unknown endpoint {op!r}; valid: {', '.join(ENDPOINTS)}"
+            )
+        return self._batcher.submit(op, cell, payload).future
+
+    # Synchronous conveniences: submit + wait.
+
+    def assign(self, cell: str, points) -> AssignResult:
+        """Nearest-centroid assignment for ``points`` of ``cell``."""
+        return self.submit("assign", cell, points=points).result()
+
+    def nearest(self, cell: str, points) -> AssignResult:
+        """Alias of :meth:`assign` that callers use for the centroid
+        coordinates rather than the indices."""
+        return self.submit("nearest", cell, points=points).result()
+
+    def summary(self, cell: str):
+        """The cell's hot model summary."""
+        return self.submit("summary", cell).result()
+
+    def prefix(self, cell: str, upto: int | None = None):
+        """Coreset-tree prefix clustering of the cell."""
+        return self.submit("prefix", cell, upto=upto).result()
+
+    def window(self, cell: str, last_n: int, upto: int | None = None):
+        """Coreset-tree trailing-window clustering of the cell."""
+        return self.submit("window", cell, last_n=last_n, upto=upto).result()
+
+    def ingest(self, cell: str, points):
+        """Fold a chunk of new points into the cell (durable, ordered)."""
+        return self.submit("ingest", cell, points=points).result()
+
+    def stats(self) -> dict:
+        """Registry + serving counters."""
+        return self.submit("stats").result()
+
+    def cells(self) -> list[str]:
+        """Resident cells."""
+        return self.submit("cells").result()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._batcher.next_batch(timeout=0.05)
+            if batch is None:
+                continue
+            if not batch:
+                return
+            try:
+                for (op, cell), group in group_requests(batch):
+                    self.metrics.record_batch(op, len(group))
+                    if op == "ingest" or self._pool is None:
+                        self._run_group(op, cell, group)
+                    else:
+                        self._pool.submit(self._run_group, op, cell, group)
+            except BaseException as exc:  # pragma: no cover - defensive
+                # The dispatcher must never die with futures in hand:
+                # a hung client is strictly worse than a failed request.
+                for request in batch:
+                    if not request.future.done():
+                        request.future.set_exception(exc)
+
+    def _run_group(
+        self, op: str, cell: str | None, group: list[PendingRequest]
+    ) -> None:
+        try:
+            if op in ("assign", "nearest") and len(group) > 1:
+                self._run_pooled_assign(cell, group)
+            else:
+                for request in group:
+                    self._answer(request, self._execute)
+        except BaseException as exc:  # pragma: no cover - defensive
+            for request in group:
+                if not request.future.done():
+                    request.future.set_exception(exc)
+
+    def _answer(self, request: PendingRequest, runner) -> None:
+        try:
+            result = runner(request)
+        except Exception as exc:
+            self.metrics.record(
+                request.op,
+                time.perf_counter() - request.enqueued_at,
+                error=True,
+            )
+            request.future.set_exception(exc)
+        else:
+            items = result[1] if isinstance(result, tuple) else 1
+            value = result[0] if isinstance(result, tuple) else result
+            self.metrics.record(
+                request.op,
+                time.perf_counter() - request.enqueued_at,
+                items=items,
+            )
+            request.future.set_result(value)
+
+    def _execute(self, request: PendingRequest):
+        registry = self.registry
+        op, cell, payload = request.op, request.cell, request.payload
+        if op in ("assign", "nearest"):
+            points = np.asarray(payload["points"], dtype=np.float64)
+            result = registry.assign(cell, points)
+            return result, result.assignments.shape[0]
+        if op == "summary":
+            return registry.summary(cell)
+        if op == "prefix":
+            return registry.prefix(cell, upto=payload.get("upto"))
+        if op == "window":
+            return registry.window(
+                cell, payload["last_n"], upto=payload.get("upto")
+            )
+        if op == "ingest":
+            points = np.asarray(payload["points"], dtype=np.float64)
+            receipt = registry.ingest(cell, points)
+            self.metrics.record_update_lag(
+                time.perf_counter() - request.enqueued_at,
+                items=receipt.n_points,
+            )
+            return receipt, receipt.n_points
+        if op == "stats":
+            payload = dict(registry.stats())
+            payload["serving"] = self.metrics.snapshot()
+            return payload
+        if op == "cells":
+            return registry.cells()
+        raise ServeError(f"unknown endpoint {op!r}")
+
+    def _run_pooled_assign(
+        self, cell: str, group: list[PendingRequest]
+    ) -> None:
+        """Answer a same-cell assign group with one distance computation."""
+        arrays = []
+        try:
+            for request in group:
+                arrays.append(as_points(request.payload["points"]))
+            if len({a.shape[1] for a in arrays}) != 1:
+                raise ValueError("mixed dimensionality in assign batch")
+        except Exception:
+            # A malformed member must not poison the batch: fall back to
+            # per-request answering so the bad request alone fails.
+            for request in group:
+                self._answer(request, self._execute)
+            return
+        offsets = [0]
+        for array in arrays:
+            offsets.append(offsets[-1] + array.shape[0])
+        try:
+            pooled = self.registry.assign(cell, np.vstack(arrays))
+        except Exception as exc:
+            now = time.perf_counter()
+            for request in group:
+                self.metrics.record(
+                    request.op, now - request.enqueued_at, error=True
+                )
+                request.future.set_exception(exc)
+            return
+        now = time.perf_counter()
+        for index, request in enumerate(group):
+            lo, hi = offsets[index], offsets[index + 1]
+            sliced = AssignResult(
+                cell_id=pooled.cell_id,
+                assignments=pooled.assignments[lo:hi],
+                sq_dists=pooled.sq_dists[lo:hi],
+                centroids=pooled.centroids[lo:hi],
+                model_version=pooled.model_version,
+                stale=pooled.stale,
+            )
+            self.metrics.record(
+                request.op,
+                now - request.enqueued_at,
+                items=hi - lo,
+            )
+            request.future.set_result(sliced)

@@ -314,6 +314,23 @@ class JournalState:
             )
         return messages
 
+    def partition_counts(self) -> dict[str, int]:
+        """Length of each cell's *contiguous* journaled partition prefix.
+
+        The serving layer's warm start folds exactly the prefix ``[0, n)``
+        per cell (records after a gap are unreachable until the gap
+        fills), so this is the authoritative "how far did the stream
+        durably get" answer — and the next partition index a serve-time
+        ingest will be journaled under.
+        """
+        counts: dict[str, int] = {}
+        for cell_id, by_partition in self.partitions.items():
+            prefix = 0
+            while prefix in by_partition:
+                prefix += 1
+            counts[cell_id] = prefix
+        return counts
+
     def completed_cells(self) -> set[str]:
         """Cells whose every partition (or final model) is journaled."""
         done = set(self.cells)

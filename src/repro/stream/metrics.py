@@ -8,7 +8,10 @@ them into an :class:`ExecutionMetrics` alongside queue statistics.
 
 from __future__ import annotations
 
+import math
+import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -23,8 +26,15 @@ __all__ = [
     "WorkerProcessStats",
     "ShardWorkerStats",
     "RecoveryEvent",
+    "EndpointStats",
+    "ServingMetrics",
     "stopwatch",
 ]
+
+#: Latency samples retained per endpoint for percentile estimates; a
+#: bounded reservoir keeps a long-lived server's memory flat while the
+#: percentiles track the recent (most relevant) service behaviour.
+_LATENCY_WINDOW = 8192
 
 
 @dataclass
@@ -199,6 +209,184 @@ class RecoveryEvent:
     cells_degraded: int
     replayed_records: int
     recovery_seconds: float
+
+
+@dataclass
+class EndpointStats:
+    """Latency/throughput counters for one serving endpoint.
+
+    The serving layer (:mod:`repro.serve`) records one sample per
+    answered request; percentiles are computed over a bounded window of
+    the most recent :data:`_LATENCY_WINDOW` samples so a long-lived
+    server never grows without bound.
+
+    Attributes:
+        name: endpoint name (``"assign"``, ``"summary"``, ...).
+        requests: requests answered (errors included).
+        items: work units processed (points assigned, chunks folded, ...).
+        batches: micro-batches this endpoint's requests were served in.
+        errors: requests that raised instead of answering.
+        total_seconds: summed request latency (enqueue to answer).
+        max_seconds: worst single-request latency observed.
+    """
+
+    name: str
+    requests: int = 0
+    items: int = 0
+    batches: int = 0
+    errors: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+    _recent: deque = field(
+        default_factory=lambda: deque(maxlen=_LATENCY_WINDOW), repr=False
+    )
+
+    def record(self, seconds: float, items: int = 1) -> None:
+        """Record one answered request."""
+        self.requests += 1
+        self.items += items
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+        self._recent.append(seconds)
+
+    def record_error(self, seconds: float) -> None:
+        """Record one failed request (latency still counts)."""
+        self.errors += 1
+        self.record(seconds)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile ``q`` (0-100) over the recent window."""
+        if not self._recent:
+            return 0.0
+        ordered = sorted(self._recent)
+        rank = max(0, math.ceil(q / 100.0 * len(ordered)) - 1)
+        return ordered[min(rank, len(ordered) - 1)]
+
+    @property
+    def mean_seconds(self) -> float:
+        """Mean request latency."""
+        if not self.requests:
+            return 0.0
+        return self.total_seconds / self.requests
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary including p50/p99 over the recent window."""
+        return {
+            "requests": self.requests,
+            "items": self.items,
+            "batches": self.batches,
+            "errors": self.errors,
+            "mean_seconds": self.mean_seconds,
+            "p50_seconds": self.percentile(50.0),
+            "p99_seconds": self.percentile(99.0),
+            "max_seconds": self.max_seconds,
+        }
+
+
+class ServingMetrics:
+    """Per-endpoint accounting for one long-lived serving process.
+
+    Thread-safe: server worker threads record concurrently.  Alongside
+    the per-endpoint latency counters it tracks **update lag** — the
+    time from an ingest request's arrival to its fold being applied to
+    the hot model — the serving layer's freshness metric.
+    """
+
+    def __init__(self) -> None:
+        self.started_at = time.perf_counter()
+        self.endpoints: dict[str, EndpointStats] = {}
+        #: Ingest freshness: enqueue-to-model-applied latency.
+        self.update_lag = EndpointStats("update-lag")
+        self._lock = threading.Lock()
+
+    def endpoint(self, name: str) -> EndpointStats:
+        """The endpoint's counters (created on first use)."""
+        with self._lock:
+            stats = self.endpoints.get(name)
+            if stats is None:
+                stats = self.endpoints[name] = EndpointStats(name)
+            return stats
+
+    def record(
+        self, name: str, seconds: float, items: int = 1, error: bool = False
+    ) -> None:
+        """Record one answered (or failed) request against an endpoint."""
+        stats = self.endpoint(name)
+        with self._lock:
+            if error:
+                stats.errors += 1
+            stats.record(seconds, items=items)
+
+    def record_batch(self, name: str, size: int) -> None:
+        """Record one micro-batch dispatched for an endpoint."""
+        stats = self.endpoint(name)
+        with self._lock:
+            stats.batches += 1
+
+    def record_update_lag(self, seconds: float, items: int = 1) -> None:
+        """Record one applied ingest's enqueue-to-applied lag."""
+        with self._lock:
+            self.update_lag.record(seconds, items=items)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Wall-clock since the metrics (i.e. the server) started."""
+        return time.perf_counter() - self.started_at
+
+    @property
+    def total_requests(self) -> int:
+        """Requests answered across all endpoints."""
+        with self._lock:
+            return sum(stats.requests for stats in self.endpoints.values())
+
+    def qps(self) -> float:
+        """Answered requests per second since the server started."""
+        elapsed = self.elapsed_seconds
+        if elapsed <= 0.0:
+            return 0.0
+        return self.total_requests / elapsed
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary of every endpoint plus update lag and QPS."""
+        with self._lock:
+            endpoints = {
+                name: stats.snapshot()
+                for name, stats in sorted(self.endpoints.items())
+            }
+            lag = self.update_lag.snapshot()
+            total = sum(stats.requests for stats in self.endpoints.values())
+        elapsed = self.elapsed_seconds
+        return {
+            "elapsed_seconds": elapsed,
+            "total_requests": total,
+            "qps": (total / elapsed) if elapsed > 0.0 else 0.0,
+            "endpoints": endpoints,
+            "update_lag": lag,
+        }
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable per-endpoint summary, for CLI output."""
+        lines = [
+            f"served {self.total_requests} request(s) in "
+            f"{self.elapsed_seconds:.3f}s ({self.qps():.0f} qps)"
+        ]
+        with self._lock:
+            for name in sorted(self.endpoints):
+                stats = self.endpoints[name]
+                lines.append(
+                    f"  {name:<10} n={stats.requests:<7} "
+                    f"err={stats.errors:<3} batches={stats.batches:<6} "
+                    f"p50={stats.percentile(50.0) * 1e3:.2f}ms "
+                    f"p99={stats.percentile(99.0) * 1e3:.2f}ms "
+                    f"max={stats.max_seconds * 1e3:.2f}ms"
+                )
+            if self.update_lag.requests:
+                lines.append(
+                    f"  update-lag chunks={self.update_lag.requests} "
+                    f"p50={self.update_lag.percentile(50.0) * 1e3:.2f}ms "
+                    f"p99={self.update_lag.percentile(99.0) * 1e3:.2f}ms"
+                )
+        return lines
 
 
 @dataclass

@@ -15,9 +15,15 @@ import json
 from pathlib import Path
 
 from repro.stream.distributed import SimReport
-from repro.stream.metrics import ExecutionMetrics
+from repro.stream.metrics import ExecutionMetrics, ServingMetrics
 
-__all__ = ["metrics_to_dict", "dump_metrics_json", "render_gantt"]
+__all__ = [
+    "metrics_to_dict",
+    "dump_metrics_json",
+    "serving_to_dict",
+    "dump_serving_json",
+    "render_gantt",
+]
 
 
 def metrics_to_dict(metrics: ExecutionMetrics) -> dict:
@@ -132,6 +138,34 @@ def dump_metrics_json(metrics: ExecutionMetrics, path: str | Path) -> Path:
     """Write execution metrics as pretty-printed JSON."""
     target = Path(path)
     target.write_text(json.dumps(metrics_to_dict(metrics), indent=2))
+    return target
+
+
+def serving_to_dict(
+    metrics: ServingMetrics, registry_stats: dict | None = None
+) -> dict:
+    """Convert serving metrics (plus optional registry counters) to JSON.
+
+    The payload mirrors :func:`metrics_to_dict`'s role for batch runs:
+    one diffable document per serving session, with per-endpoint
+    latency percentiles, QPS and ingest update lag.
+    """
+    payload = metrics.snapshot()
+    if registry_stats is not None:
+        payload["registry"] = dict(registry_stats)
+    return payload
+
+
+def dump_serving_json(
+    metrics: ServingMetrics,
+    path: str | Path,
+    registry_stats: dict | None = None,
+) -> Path:
+    """Write serving metrics as pretty-printed JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(serving_to_dict(metrics, registry_stats), indent=2)
+    )
     return target
 
 

@@ -6,7 +6,13 @@ import numpy as np
 import pytest
 
 from repro.baselines.serial import SerialKMeans
-from repro.core.incremental import IncrementalClusterer, update_model
+from repro.core.incremental import (
+    IncrementalClusterer,
+    fold_summary,
+    update_model,
+)
+from repro.core.model import ClusterModel
+from repro.core.partial import partial_kmeans
 from repro.core.quality import mse as evaluate_mse
 
 
@@ -51,6 +57,66 @@ class TestUpdateModel:
         incremental_mse = evaluate_mse(blobs_2d, updated.centroids)
         batch_mse = evaluate_mse(blobs_2d, batch.centroids)
         assert incremental_mse < batch_mse * 3 + 1.0
+
+
+class TestEmptyWatermark:
+    """Zero-point cells (PR 3) emit ``ClusterModel.empty`` watermarks;
+    the incremental path must bootstrap them, not crash on ``k == 0``."""
+
+    def test_update_model_bootstraps_with_k(self, blobs_2d):
+        watermark = ClusterModel.empty(2)
+        updated = update_model(
+            watermark, blobs_2d[:200], k=4, rng=np.random.default_rng(0)
+        )
+        assert updated.k == 4
+        assert updated.weights.sum() == pytest.approx(200)
+        assert updated.partitions == 1
+
+    def test_update_model_without_k_raises(self, blobs_2d):
+        with pytest.raises(ValueError, match="watermark"):
+            update_model(
+                ClusterModel.empty(2),
+                blobs_2d[:100],
+                rng=np.random.default_rng(0),
+            )
+
+    def test_adopt_watermark_is_noop(self, blobs_6d):
+        clusterer = IncrementalClusterer(k=5, seed=0)
+        clusterer.adopt(ClusterModel.empty(6))
+        assert clusterer.points_seen == 0
+        clusterer.add(blobs_6d[:100])
+        assert clusterer.model().weights.sum() == pytest.approx(100)
+
+    def test_adopt_populated_model_counts_mass(self, blobs_6d):
+        base = SerialKMeans(k=5, restarts=2, seed=0).fit(blobs_6d[:300])
+        clusterer = IncrementalClusterer(k=5, seed=0)
+        clusterer.adopt(base)
+        assert clusterer.points_seen == 300
+        clusterer.add(blobs_6d[300:400])
+        assert clusterer.model().weights.sum() == pytest.approx(400)
+
+
+class TestFoldSummary:
+    def test_deterministic(self, blobs_2d):
+        model = SerialKMeans(k=4, restarts=2, seed=0).fit(blobs_2d[:300])
+        summary = partial_kmeans(
+            blobs_2d[300:], 4, 2, np.random.default_rng(3), source="t"
+        ).summary
+        once = fold_summary(model, summary)
+        twice = fold_summary(model, summary)
+        np.testing.assert_array_equal(once.centroids, twice.centroids)
+        np.testing.assert_array_equal(once.weights, twice.weights)
+        assert once.mse == twice.mse
+
+    def test_none_model_requires_k(self, blobs_2d):
+        summary = partial_kmeans(
+            blobs_2d[:200], 4, 2, np.random.default_rng(3), source="t"
+        ).summary
+        with pytest.raises(ValueError, match="without k"):
+            fold_summary(None, summary)
+        folded = fold_summary(None, summary, k=4)
+        assert folded.k == 4
+        assert folded.weights.sum() == pytest.approx(200)
 
 
 class TestIncrementalClusterer:

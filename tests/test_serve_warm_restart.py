@@ -1,0 +1,228 @@
+"""Kill-and-restart test for the serving layer.
+
+The bar (ISSUE 8): a ``repro serve`` process SIGKILLed mid-ingest and
+restarted from its journal serves ``assign`` / ``summary`` /
+``prefix`` / ``window`` responses **bit-identical** to a server that
+never died.  The harness drives two real server subprocesses over the
+CLI's newline-JSON protocol (JSON round-trips float64 exactly, so
+comparing response payloads compares model bits), re-sending any chunk
+the killed server never journaled — at-least-once delivery, which the
+deterministic per-``(cell, partition)`` ingest seeding converges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.data.generator import generate_cell_points
+from repro.data.gridcell import GridCell, GridCellId
+from repro.data.gridio import write_bucket_dir
+from repro.stream.checkpoint import JOURNAL_FILENAME, read_journal
+from repro.stream.query import Query
+
+#: Serve-time chunks folded into each cell on top of the pipeline run.
+CHUNKS_PER_CELL = 4
+CHUNK_POINTS = 60
+
+#: Response keys that are timing/caching/session diagnostics, not model
+#: state (``folds`` counts serve-time folds *since warm start*, so a
+#: restarted process legitimately reports fewer).
+NONDETERMINISTIC_KEYS = {
+    "age_seconds",
+    "seconds",
+    "cached",
+    "nodes_reused",
+    "partial_seconds",
+    "fold_seconds",
+    "folds",
+}
+
+
+@pytest.fixture
+def seeded_run(tmp_path):
+    """One journaled pipeline run, cloned into two identical run dirs."""
+    cells = [
+        GridCell(GridCellId(10, 20), generate_cell_points(300, seed=1)),
+        GridCell(GridCellId(11, 20), generate_cell_points(250, seed=2)),
+    ]
+    write_bucket_dir(tmp_path / "buckets", cells)
+    seed_dir = tmp_path / "seed"
+    (
+        Query.scan_buckets(str(tmp_path / "buckets"))
+        .partition(3)
+        .cluster(k=4, restarts=2)
+        .merge()
+        .with_seed(7)
+        .checkpoint(seed_dir, fsync=False)
+        .execute()
+    )
+    untouched = tmp_path / "run_uninterrupted"
+    killed = tmp_path / "run_killed"
+    shutil.copytree(seed_dir, untouched)
+    shutil.copytree(seed_dir, killed)
+    return untouched, killed
+
+
+class ServerProc:
+    """One ``repro serve`` subprocess spoken to over stdin/stdout JSON."""
+
+    def __init__(self, run_dir) -> None:
+        env = dict(os.environ)
+        src = os.path.abspath(
+            os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        )
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                str(run_dir),
+                "--query-workers",
+                "0",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+            env=env,
+        )
+        self.ready = json.loads(self._readline())
+        assert self.ready.get("ready"), self.ready
+
+    def _readline(self) -> str:
+        line = self.proc.stdout.readline()
+        if not line:
+            raise RuntimeError("server closed its stdout")
+        return line
+
+    def rpc(self, **request) -> dict:
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+        response = json.loads(self._readline())
+        assert response["ok"], response
+        return response["result"]
+
+    def send_only(self, **request) -> None:
+        """Fire a request without waiting for its response."""
+        self.proc.stdin.write(json.dumps(request) + "\n")
+        self.proc.stdin.flush()
+
+    def sigkill(self) -> None:
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def shutdown(self) -> None:
+        if self.proc.poll() is not None:
+            return
+        try:
+            self.send_only(op="shutdown")
+            self.proc.wait(timeout=30)
+        except Exception:
+            self.proc.kill()
+            self.proc.wait(timeout=30)
+
+
+def chunk_for(cell_id: str, index: int, dim: int) -> list[list[float]]:
+    """Deterministic serve-time chunk ``index`` for ``cell_id``."""
+    rng = np.random.default_rng([zlib.crc32(cell_id.encode()), index])
+    return rng.normal(size=(CHUNK_POINTS, dim)).tolist()
+
+
+def probe(server: ServerProc, cells: list[str], dim: int) -> list[dict]:
+    """Deterministic query battery; responses carry exact model bits."""
+    responses = []
+    for index, cell in enumerate(sorted(cells)):
+        points = (
+            np.random.default_rng([99, index]).normal(size=(9, dim)).tolist()
+        )
+        responses.append(server.rpc(op="assign", cell=cell, points=points))
+        responses.append(server.rpc(op="summary", cell=cell))
+        responses.append(server.rpc(op="prefix", cell=cell))
+        responses.append(server.rpc(op="window", cell=cell, last_n=2))
+    return responses
+
+
+def strip_nondeterministic(responses: list[dict]) -> list[dict]:
+    return [
+        {k: v for k, v in r.items() if k not in NONDETERMINISTIC_KEYS}
+        for r in responses
+    ]
+
+
+class TestWarmRestartBitIdentity:
+    def test_sigkilled_server_restarts_bit_identical(self, seeded_run):
+        untouched_dir, killed_dir = seeded_run
+
+        # Reference: one server folds every chunk without interruption.
+        reference = ServerProc(untouched_dir)
+        try:
+            cells = reference.ready["cells"]
+            assert len(cells) == 2
+            dim = len(reference.rpc(op="summary", cell=cells[0])["centroids"][0])
+            for index in range(CHUNKS_PER_CELL):
+                for cell in cells:
+                    reference.rpc(
+                        op="ingest",
+                        cell=cell,
+                        points=chunk_for(cell, index, dim),
+                    )
+            expected = probe(reference, cells, dim)
+        finally:
+            reference.shutdown()
+
+        # Victim: same chunks, but SIGKILLed with a request in flight.
+        base_counts = read_journal(
+            killed_dir / JOURNAL_FILENAME
+        ).partition_counts()
+        victim = ServerProc(killed_dir)
+        delivered = {cell: 0 for cell in cells}
+        try:
+            for index in range(2):
+                for cell in cells:
+                    victim.rpc(
+                        op="ingest",
+                        cell=cell,
+                        points=chunk_for(cell, index, dim),
+                    )
+                    delivered[cell] = index + 1
+            # Fire one more ingest and kill without reading the reply:
+            # whether that chunk was journaled is genuinely unknown.
+            victim.send_only(
+                op="ingest", cell=cells[0], points=chunk_for(cells[0], 2, dim)
+            )
+        finally:
+            victim.sigkill()
+
+        # Restart from the journal; the journal alone says how many
+        # serve chunks survived, and the client re-sends the rest
+        # (at-least-once delivery).
+        counts = read_journal(killed_dir / JOURNAL_FILENAME).partition_counts()
+        survivor = ServerProc(killed_dir)
+        try:
+            for cell in cells:
+                applied = counts.get(cell, 0) - base_counts.get(cell, 0)
+                assert applied >= delivered[cell]
+                for index in range(applied, CHUNKS_PER_CELL):
+                    survivor.rpc(
+                        op="ingest",
+                        cell=cell,
+                        points=chunk_for(cell, index, dim),
+                    )
+            actual = probe(survivor, cells, dim)
+        finally:
+            survivor.shutdown()
+
+        assert strip_nondeterministic(expected) == strip_nondeterministic(
+            actual
+        )
