@@ -1,31 +1,39 @@
-"""Benchmark: Lloyd kernels (dense vs hamerly vs tiled) across (n, k, d).
+"""Benchmark: the two-tier Lloyd kernel layer across (n, k, d).
 
 One fixed-seed Lloyd run per kernel per configuration, from identical
 seeds, on the same synthetic MISR-style mixture the paper's experiments
-use.  Three things are checked and recorded into ``BENCH_kernel.json`` at
-the repository root:
+use.  Walls are the min of two runs per kernel (single-CPU containers
+jitter ~10%; the min damps it without hiding a real regression).  Four
+things are checked and recorded into ``BENCH_kernel.json``:
 
-* **bit identity** — every kernel's centroids/assignments/SSE/iterations
-  must match the dense reference exactly (the determinism contract the
-  engine's resume and cross-backend guarantees rest on);
+* **bit identity** — every *exact* kernel's centroids/assignments/SSE/
+  iterations must match the dense reference exactly (the determinism
+  contract the engine's resume and cross-backend guarantees rest on);
+* **tolerance** — the ``blas`` tier (``exact=False``) must land within
+  :func:`repro.core.kernels.blas_mse_tolerance` of the dense MSE;
 * **counter-verified work reduction** — on the flagship n=50k, k=40 row
-  the hamerly kernel must *compute strictly fewer distance evaluations*
-  than dense (not merely run faster: wall time can lie, counters cannot);
-* **wall-clock speed-up** — hamerly >= 1.3x dense on that same row.
+  the bounds kernels must *compute strictly fewer distance evaluations*
+  than dense with exact ``computed + skipped == dense`` accounting (wall
+  time can lie, counters cannot);
+* **wall-clock speed-up** — at the flagship config the best exact kernel
+  must be >= 3x dense and ``blas`` >= 5x dense.
 
-The tiled kernel's purpose is memory boundedness (it never materialises
-the full ``(n, k)`` distance matrix), not raw speed; its wall time is
-recorded but not asserted on.
+The ledger also records ``host_cpus``, the NumPy version and the
+detected BLAS implementation, plus the honest ``meaningful`` flag the
+other BENCH ledgers carry (speed ratios measured on a loaded or
+single-CPU host are reported either way, but flagged).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
 import numpy as np
 
+from repro.core.kernels import blas_mse_tolerance
 from repro.core.kmeans import lloyd
 from repro.data.generator import generate_cell_points
 
@@ -40,14 +48,53 @@ _GRID = [
 ]
 _FLAGSHIP = (50_000, 40, 6)
 _MAX_ITER = 120
-_KERNELS = ("dense", "hamerly", "tiled")
+#: kernel name -> exact flag passed to lloyd().
+_KERNELS = {
+    "dense": None,
+    "hamerly": None,
+    "elkan": None,
+    "blas": False,
+}
+_EXACT_KERNELS = ("hamerly", "elkan")
+#: Wall measurements per kernel; the recorded wall is the min.
+_ROUNDS = 2
 
 
-def _run_one(points, seeds, kernel):
-    started = time.perf_counter()
-    result = lloyd(points, seeds, max_iter=_MAX_ITER, kernel=kernel)
-    wall = time.perf_counter() - started
-    return result, wall
+def _blas_backend() -> str:
+    """Best-effort detection of the BLAS implementation NumPy links."""
+    try:  # threadpoolctl gives the authoritative answer when present
+        from threadpoolctl import threadpool_info
+
+        names = {
+            info.get("internal_api", "")
+            for info in threadpool_info()
+            if info.get("user_api") == "blas"
+        }
+        if names:
+            return ",".join(sorted(names))
+    except ImportError:
+        pass
+    try:
+        config = np.show_config(mode="dicts")
+        blas = config.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name", "")
+        if name:
+            return str(name)
+    except (TypeError, AttributeError):  # older numpy: mode kwarg missing
+        pass
+    return "unknown"
+
+
+def _run_one(points, seeds, kernel, exact):
+    best_wall = float("inf")
+    result = None
+    for _ in range(_ROUNDS):
+        started = time.perf_counter()
+        result = lloyd(
+            points, seeds, max_iter=_MAX_ITER, kernel=kernel, exact=exact
+        )
+        best_wall = min(best_wall, time.perf_counter() - started)
+    return result, best_wall
 
 
 def test_bench_kernel(benchmark):
@@ -61,21 +108,21 @@ def test_bench_kernel(benchmark):
 
         results = {}
         walls = {}
-        for kernel in _KERNELS:
-            if kernel == "hamerly" and (n, k, d) == _FLAGSHIP:
-                # The flagship hamerly run is the benchmarked measurement.
+        for kernel, exact in _KERNELS.items():
+            if kernel == "elkan" and (n, k, d) == _FLAGSHIP:
+                # The flagship exact-tier run is the benchmarked measurement.
                 result, wall = benchmark.pedantic(
-                    lambda: _run_one(points, seeds, "hamerly"),
+                    lambda: _run_one(points, seeds, "elkan", None),
                     rounds=1,
                     iterations=1,
                 )
             else:
-                result, wall = _run_one(points, seeds, kernel)
+                result, wall = _run_one(points, seeds, kernel, exact)
             results[kernel] = result
             walls[kernel] = wall
 
         dense = results["dense"]
-        for kernel in _KERNELS[1:]:
+        for kernel in _EXACT_KERNELS:
             alt = results[kernel]
             assert alt.assignments.tobytes() == dense.assignments.tobytes(), (
                 kernel, n, k, d,
@@ -86,15 +133,25 @@ def test_bench_kernel(benchmark):
             assert alt.sse == dense.sse, (kernel, n, k, d)
             assert alt.iterations == dense.iterations, (kernel, n, k, d)
 
+        # The blas tier waives bit-identity; its MSE must stay within the
+        # documented tolerance of the dense reference.
+        blas = results["blas"]
+        blas_tol = blas_mse_tolerance(points, dense.mse)
+        blas_mse_error = abs(blas.mse - dense.mse)
+        assert blas_mse_error <= blas_tol, (n, k, d, blas.mse, dense.mse)
+
         row = {
             "n": n,
             "k": k,
             "d": d,
             "iterations": dense.iterations,
             "converged": dense.converged,
-            "bit_identical": True,
+            "exact_bit_identical": True,
+            "blas_mse_error": blas_mse_error,
+            "blas_mse_tolerance": blas_tol,
             "kernels": {
                 kernel: {
+                    "exact": kernel != "blas",
                     "wall_seconds": walls[kernel],
                     "speedup_vs_dense": (
                         walls["dense"] / walls[kernel]
@@ -121,37 +178,50 @@ def test_bench_kernel(benchmark):
         )
 
     assert flagship_row is not None
-    hamerly = flagship_row["kernels"]["hamerly"]
-    dense = flagship_row["kernels"]["dense"]
-    evals_saved = (
-        dense["counters"]["distance_evals_computed"]
-        - hamerly["counters"]["distance_evals_computed"]
+    kernels = flagship_row["kernels"]
+    dense = kernels["dense"]
+    best_exact = max(
+        _EXACT_KERNELS, key=lambda name: kernels[name]["speedup_vs_dense"]
     )
+    host_cpus = os.cpu_count() or 1
     payload = {
         "max_iter": _MAX_ITER,
+        "rounds_per_wall": _ROUNDS,
+        "host_cpus": host_cpus,
+        "numpy_version": np.__version__,
+        "blas_backend": _blas_backend(),
+        # Ratio gates survive a slow host (both sides slow down together),
+        # but a multi-tenant or hyper-threaded-only host can still skew
+        # them; flag single-core hosts honestly like the other ledgers.
+        "meaningful": host_cpus >= 2,
         "flagship": {"n": _FLAGSHIP[0], "k": _FLAGSHIP[1], "d": _FLAGSHIP[2]},
-        "flagship_hamerly_speedup": hamerly["speedup_vs_dense"],
-        "flagship_hamerly_evals_saved": evals_saved,
+        "flagship_best_exact_kernel": best_exact,
+        "flagship_best_exact_speedup": kernels[best_exact]["speedup_vs_dense"],
+        "flagship_blas_speedup": kernels["blas"]["speedup_vs_dense"],
         "rows": rows,
     }
     (_REPO_ROOT / "BENCH_kernel.json").write_text(
         json.dumps(payload, indent=2) + "\n"
     )
 
-    # Counter-verified, not just wall time: the hamerly kernel must do
-    # strictly less distance work than the dense reference.
-    assert (
-        hamerly["counters"]["distance_evals_computed"]
-        < dense["counters"]["distance_evals_computed"]
-    )
-    assert hamerly["counters"]["distance_evals_skipped"] > 0
-    assert evals_saved > 0
-    # Exact accounting: a bounds pass costs (n - m) + m*k <= n*k, so
-    # computed + skipped must equal the dense reference's work precisely.
-    assert (
-        hamerly["counters"]["distance_evals_computed"]
-        + hamerly["counters"]["distance_evals_skipped"]
-        == dense["counters"]["distance_evals_computed"]
-    )
-    # And the pruning must pay off in wall time on the flagship workload.
-    assert hamerly["speedup_vs_dense"] >= 1.3
+    # Counter-verified, not just wall time: every exact bounds kernel must
+    # do strictly less distance work than the dense reference, with exact
+    # computed + skipped == dense accounting.
+    for name in _EXACT_KERNELS:
+        counters = kernels[name]["counters"]
+        assert (
+            counters["distance_evals_computed"]
+            < dense["counters"]["distance_evals_computed"]
+        ), name
+        assert counters["distance_evals_skipped"] > 0, name
+        assert (
+            counters["distance_evals_computed"]
+            + counters["distance_evals_skipped"]
+            == dense["counters"]["distance_evals_computed"]
+        ), name
+    # The elkan group bounds and the blas GEMM counters must be live.
+    assert kernels["elkan"]["counters"]["bound_groups"] > 0
+    assert kernels["blas"]["counters"]["gemm_calls"] > 0
+    # The acceptance gates: best exact kernel >= 3x, blas tier >= 5x.
+    assert kernels[best_exact]["speedup_vs_dense"] >= 3.0
+    assert kernels["blas"]["speedup_vs_dense"] >= 5.0

@@ -31,8 +31,10 @@ class SerialKMeans:
         criterion: convergence criterion (paper's 1e-9 MSE delta when
             ``None``).
         max_iter: Lloyd iteration cap per restart.
-        kernel: Lloyd assignment backend name (bit-identical performance
-            knob; ``None`` consults ``REPRO_KMEANS_KERNEL``).
+        kernel: Lloyd assignment backend name (exact backends are a
+            bit-identical performance knob; ``None`` consults
+            ``REPRO_KMEANS_KERNEL``).
+        exact: ``False`` opts into the tolerance-close ``blas`` tier.
         early_abandon: cut short restarts that cannot beat the incumbent.
         seed: RNG seed.
 
@@ -53,6 +55,7 @@ class SerialKMeans:
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         kernel: str | None = None,
+        exact: bool | None = None,
         early_abandon: bool = False,
         seed: int | None = None,
     ) -> None:
@@ -64,6 +67,7 @@ class SerialKMeans:
         self.criterion = criterion
         self.max_iter = max_iter
         self.kernel = kernel
+        self.exact = exact
         self.early_abandon = early_abandon
         self._rng = np.random.default_rng(seed)
 
@@ -80,6 +84,7 @@ class SerialKMeans:
             criterion=self.criterion,
             max_iter=self.max_iter,
             kernel=self.kernel,
+            exact=self.exact,
             early_abandon=self.early_abandon,
         )
         elapsed = time.perf_counter() - start

@@ -121,7 +121,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             .partition(args.chunks)
             .cluster(k=args.k, restarts=args.restarts)
             .merge()
-            .with_kernel(args.kernel)
+            .with_kernel(args.kernel, exact=False if args.no_exact else None)
             .with_seed(args.seed)
             .checkpoint(args.checkpoint_dir, resume=args.resume)
             .execute()
@@ -144,7 +144,11 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(f"cell {cell.cell_id.key}: {cell.n_points} points, dim {cell.dim}")
 
     serial = SerialKMeans(
-        args.k, restarts=args.restarts, kernel=args.kernel, seed=args.seed
+        args.k,
+        restarts=args.restarts,
+        kernel=args.kernel,
+        exact=False if args.no_exact else None,
+        seed=args.seed,
     ).fit(cell.points)
     serial_mse = evaluate_mse(cell.points, serial.centroids)
     print(f"serial        mse={serial_mse:12.2f}  t={serial.total_seconds:.3f}s")
@@ -154,6 +158,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         restarts=args.restarts,
         n_chunks=args.chunks,
         kernel=args.kernel,
+        exact=False if args.no_exact else None,
         seed=args.seed,
     ).fit(cell.points)
     model = report.model
@@ -222,8 +227,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
     else:
         query = query.partition(args.chunks)
     query = query.cluster(k=args.k, restarts=args.restarts).merge()
-    if args.kernel != "dense":
-        query = query.with_kernel(args.kernel)
+    if args.kernel != "dense" or args.no_exact:
+        query = query.with_kernel(
+            args.kernel, exact=False if args.no_exact else None
+        )
     if args.clones:
         query = query.with_partial_clones(args.clones)
     if args.shards:
@@ -393,6 +400,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         seed=args.seed,
         restarts=args.restarts,
         kernel=None if args.kernel == "dense" else args.kernel,
+        exact=False if args.no_exact else None,
         ttl_seconds=args.ttl or None,
         fsync=not args.no_fsync,
     )
@@ -575,11 +583,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("--seed", type=int, default=None)
     p_query.add_argument(
         "--kernel",
-        choices=["dense", "hamerly", "tiled"],
+        choices=["dense", "hamerly", "elkan", "blas", "tiled"],
         default="dense",
-        help="Lloyd assignment kernel for all k-means stages; every "
-        "kernel is bit-identical, so this only changes speed (counters "
-        "in the metrics show what it saved)",
+        help="Lloyd assignment kernel for all k-means stages; exact "
+        "kernels (dense/hamerly/elkan) are bit-identical, so they only "
+        "change speed (counters in the metrics show what they saved); "
+        "'blas' is the float32 GEMM tier and requires --no-exact "
+        "('tiled' is a deprecated alias for it)",
+    )
+    p_query.add_argument(
+        "--no-exact",
+        action="store_true",
+        help="waive the bit-identity contract: admit the 'blas' kernel, "
+        "whose results are only MSE-tolerance-close to the reference",
     )
     p_query.add_argument(
         "--trace-json",
@@ -680,9 +696,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--restarts", type=int, default=3)
     p_serve.add_argument(
         "--kernel",
-        choices=["dense", "hamerly", "tiled"],
+        choices=["dense", "hamerly", "elkan", "blas", "tiled"],
         default="dense",
-        help="Lloyd assignment kernel (bit-identical; speed only)",
+        help="Lloyd assignment kernel (exact tiers are bit-identical; "
+        "'blas' needs --no-exact and speeds up folds and serving assigns)",
+    )
+    p_serve.add_argument(
+        "--no-exact",
+        action="store_true",
+        help="waive bit-identity: admit the 'blas' float32 GEMM kernel",
     )
     p_serve.add_argument(
         "--ttl",
@@ -729,9 +751,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_cluster.add_argument("--seed", type=int, default=0)
     p_cluster.add_argument(
         "--kernel",
-        choices=["dense", "hamerly", "tiled"],
+        choices=["dense", "hamerly", "elkan", "blas", "tiled"],
         default="dense",
-        help="Lloyd assignment kernel (bit-identical; speed only)",
+        help="Lloyd assignment kernel (exact tiers are bit-identical; "
+        "'blas' needs --no-exact)",
+    )
+    p_cluster.add_argument(
+        "--no-exact",
+        action="store_true",
+        help="waive bit-identity: admit the 'blas' float32 GEMM kernel",
     )
     p_cluster.add_argument(
         "--checkpoint-dir",

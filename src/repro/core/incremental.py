@@ -42,6 +42,7 @@ def fold_summary(
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     kernel: str | None = None,
+    exact: bool | None = None,
 ) -> ClusterModel:
     """Merge an already-computed partition summary into a cell model.
 
@@ -61,8 +62,9 @@ def fold_summary(
             **required** when ``model`` is ``None`` or empty.
         criterion: convergence criterion for the merge.
         max_iter: Lloyd cap for the merge.
-        kernel: assignment backend for the merge (bit-identical across
-            kernels; performance knob only).
+        kernel: assignment backend for the merge (exact kernels are
+            bit-identical; performance knob only).
+        exact: ``False`` opts into the tolerance-close ``blas`` tier.
 
     Returns:
         A new :class:`ClusterModel` whose weights sum to
@@ -82,7 +84,8 @@ def fold_summary(
     pool = [model.to_weighted_set()] if base_populated else []
     pool.append(summary)
     merged = merge_kmeans(
-        pool, k, criterion=criterion, max_iter=max_iter, kernel=kernel
+        pool, k, criterion=criterion, max_iter=max_iter, kernel=kernel,
+        exact=exact,
     )
     base = model if model is not None else ClusterModel.empty(summary.dim)
     return ClusterModel(
@@ -108,6 +111,7 @@ def update_model(
     max_iter: int = DEFAULT_MAX_ITER,
     k: int | None = None,
     kernel: str | None = None,
+    exact: bool | None = None,
 ) -> ClusterModel:
     """Fold ``new_points`` into an existing cell model.
 
@@ -124,6 +128,7 @@ def update_model(
         k: centroids for the update; defaults to ``model.k`` and is
             **required** when ``model`` is an empty watermark.
         kernel: assignment backend for both stages.
+        exact: ``False`` opts into the tolerance-close ``blas`` tier.
 
     Returns:
         A new :class:`ClusterModel` with ``k`` preserved and weights
@@ -151,6 +156,7 @@ def update_model(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
     )
     folded = fold_summary(
         model,
@@ -159,6 +165,7 @@ def update_model(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
     )
     return replace(
         folded,

@@ -34,7 +34,6 @@ from repro.core.convergence import ConvergenceCriterion, MseDeltaCriterion
 from repro.core.kernels import (
     LloydKernel,
     _pair_sq_distances,
-    aggregate_weighted_sums,
     resolve_kernel,
 )
 from repro.core.model import KMeansResult, as_points, as_weights
@@ -89,6 +88,7 @@ def lloyd(
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     kernel: "str | LloydKernel | None" = None,
+    exact: bool | None = None,
     abandon_sse: float | None = None,
 ) -> KMeansResult:
     """Run weighted Lloyd k-means from the given seeds.
@@ -103,10 +103,15 @@ def lloyd(
             ``MSE(n-1) - MSE(n) <= 1e-9``.
         max_iter: hard iteration cap.
         kernel: assignment backend — a name (``"dense"``, ``"hamerly"``,
-            ``"tiled"``), a :class:`~repro.core.kernels.LloydKernel`
-            instance, or ``None`` to consult ``REPRO_KMEANS_KERNEL`` and
-            fall back to the dense reference.  All backends produce
-            bit-identical results.
+            ``"elkan"``, ``"blas"``), a
+            :class:`~repro.core.kernels.LloydKernel` instance, or ``None``
+            to consult ``REPRO_KMEANS_KERNEL`` and fall back to the dense
+            reference.  Exact backends produce bit-identical results.
+        exact: ``True`` (the default when ``None`` and
+            ``REPRO_KMEANS_EXACT`` is unset) restricts selection to
+            bit-identical kernels; ``False`` additionally admits the
+            ``blas`` tier, whose outputs are only tolerance-close
+            (see :func:`repro.core.kernels.blas_mse_tolerance`).
         abandon_sse: optional incumbent SSE for restart early-abandoning.
             When the run's optimistically-projected final SSE (current SSE
             minus the latest per-iteration improvement times the remaining
@@ -138,7 +143,7 @@ def lloyd(
     if max_iter < 1:
         raise ValueError(f"max_iter must be >= 1, got {max_iter}")
 
-    backend = resolve_kernel(kernel)
+    backend = resolve_kernel(kernel, exact=exact)
     backend.start(pts, wts)
 
     # Hoisted out of the loop: the weighted points never change.
@@ -152,7 +157,9 @@ def lloyd(
     for iterations in range(1, max_iter + 1):
         assignments, sq_dists = backend.assign(cents)
 
-        cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
+        # Delegated: bounds kernels recount only clusters whose
+        # membership changed (bit-identical subset bincount).
+        cluster_mass = backend.cluster_mass(wts, assignments, k)
         empty = np.flatnonzero(cluster_mass == 0)
         repaired = bool(empty.size)
         if repaired:
@@ -160,10 +167,13 @@ def lloyd(
             # A centroid teleported; cached kernel bounds are void.
             backend.invalidate()
             assignments, sq_dists = backend.assign(cents)
-            cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
+            cluster_mass = backend.cluster_mass(wts, assignments, k)
 
         # Weighted centroid recalculation: mu_j = sum(w_i x_i) / sum(w_i).
-        sums = aggregate_weighted_sums(weighted_pts, assignments, k)
+        # Delegated to the kernel so bounds kernels can reuse cached sums
+        # for untouched clusters (bit-exact) or maintain them
+        # incrementally (blas tier).
+        sums = backend.aggregate(weighted_pts, assignments, k)
         occupied = cluster_mass > 0
         new_cents = cents.copy()
         new_cents[occupied] = sums[occupied] / cluster_mass[occupied, None]
@@ -172,7 +182,9 @@ def lloyd(
         backend.notify_update(cents, new_cents)
         cents = new_cents
 
-        cur_sse = float(np.dot(wts, sq_dists))
+        # Delegated: the blas tier computes SSE algebraically from its
+        # per-cluster sums so stale pruned-row distances never leak in.
+        cur_sse = backend.compute_sse(wts, sq_dists)
         cur_mse = cur_sse / total_mass
         if test.converged(prev_sse / total_mass, cur_mse, shift):
             converged = True
@@ -195,8 +207,10 @@ def lloyd(
     # Final assignment against the last recalculated centroids so that the
     # reported MSE matches the returned model exactly.
     assignments, sq_dists = backend.assign(cents)
-    cluster_mass = np.bincount(assignments, weights=wts, minlength=k)
-    final_sse = float(np.dot(wts, sq_dists))
+    # Copy: the hook may hand back a kernel-owned cache, and the result
+    # must not alias state a reused kernel instance would mutate.
+    cluster_mass = backend.cluster_mass(wts, assignments, k).copy()
+    final_sse = backend.compute_sse(wts, sq_dists)
 
     return KMeansResult(
         centroids=cents,

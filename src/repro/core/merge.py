@@ -60,6 +60,7 @@ def _merge_once(
     criterion: ConvergenceCriterion | None,
     max_iter: int,
     kernel: "str | LloydKernel | None" = None,
+    exact: bool | None = None,
 ) -> KMeansResult:
     """Run one weighted k-means over pooled centroids, seeded by weight."""
     seeds = largest_weight_seeds(pooled.centroids, k, pooled.weights)
@@ -70,6 +71,7 @@ def _merge_once(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
     )
 
 
@@ -81,6 +83,7 @@ def merge_kmeans(
     extra_random_restarts: int = 0,
     rng: np.random.Generator | None = None,
     kernel: "str | LloydKernel | None" = None,
+    exact: bool | None = None,
 ) -> MergeResult:
     """Collective merge: pool all partials, weighted k-means once.
 
@@ -98,7 +101,8 @@ def merge_kmeans(
             those collapses; 0 reproduces the paper exactly.
         rng: randomness for the extra restarts (fresh default if needed).
         kernel: assignment backend forwarded to every merge k-means run
-            (all backends are bit-identical; performance knob only).
+            (exact backends are bit-identical; performance knob only).
+        exact: ``False`` opts into the tolerance-close ``blas`` tier.
 
     Returns:
         A :class:`MergeResult`; the model's weights sum to the total number
@@ -116,7 +120,9 @@ def merge_kmeans(
         elapsed = time.perf_counter() - start
         return MergeResult(model=pooled, mse=0.0, iterations=0, seconds=elapsed)
     counters = KernelCounters()
-    best = _merge_once(pooled, k, criterion, max_iter, kernel=kernel)
+    best = _merge_once(
+        pooled, k, criterion, max_iter, kernel=kernel, exact=exact
+    )
     iterations = best.iterations
     counters.merge(best.counters)
     if extra_random_restarts:
@@ -130,6 +136,7 @@ def merge_kmeans(
                 criterion=criterion,
                 max_iter=max_iter,
                 kernel=kernel,
+                exact=exact,
             )
             iterations += candidate.iterations
             counters.merge(candidate.counters)
@@ -151,6 +158,7 @@ def incremental_merge_kmeans(
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     kernel: "str | LloydKernel | None" = None,
+    exact: bool | None = None,
 ) -> MergeResult:
     """Incremental merge: fold each partition into a running summary.
 
@@ -172,7 +180,9 @@ def incremental_merge_kmeans(
         if pooled.k <= k:
             running = pooled
             continue
-        result = _merge_once(pooled, k, criterion, max_iter, kernel=kernel)
+        result = _merge_once(
+            pooled, k, criterion, max_iter, kernel=kernel, exact=exact
+        )
         iterations += result.iterations
         last_mse = result.mse
         counters.merge(result.counters)

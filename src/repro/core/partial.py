@@ -54,6 +54,7 @@ def partial_kmeans(
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     kernel: "str | LloydKernel | None" = None,
+    exact: bool | None = None,
     early_abandon: bool = False,
 ) -> PartialResult:
     """Cluster one partition and summarise it as weighted centroids.
@@ -68,8 +69,10 @@ def partial_kmeans(
         criterion: convergence criterion (paper default when ``None``).
         max_iter: per-run iteration cap.
         kernel: assignment backend name (``"dense"``/``"hamerly"``/
-            ``"tiled"``) forwarded to every restart; all backends are
-            bit-identical.
+            ``"elkan"``/``"blas"``) forwarded to every restart; exact
+            backends are bit-identical.
+        exact: ``False`` opts into the tolerance-close ``blas`` tier
+            (forwarded to :func:`~repro.core.kernels.resolve_kernel`).
         early_abandon: forward the restart early-abandon heuristic.
 
     Returns:
@@ -87,6 +90,7 @@ def partial_kmeans(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
         early_abandon=early_abandon,
     )
     elapsed = time.perf_counter() - start

@@ -87,9 +87,11 @@ class PartialMergeKMeans:
             ``None``).
         max_iter: per-run Lloyd iteration cap.
         kernel: Lloyd assignment backend (``"dense"``/``"hamerly"``/
-            ``"tiled"``) used by partial and merge steps alike; ``None``
-            consults ``REPRO_KMEANS_KERNEL``.  All backends are
-            bit-identical — this is a performance knob only.
+            ``"elkan"``/``"blas"``) used by partial and merge steps
+            alike; ``None`` consults ``REPRO_KMEANS_KERNEL``.  Exact
+            backends are bit-identical — a performance knob only.
+        exact: ``False`` opts into the tolerance-close ``blas`` tier
+            (forwarded to :func:`~repro.core.kernels.resolve_kernel`).
         early_abandon: terminate restarts whose projected SSE cannot beat
             the incumbent best (heuristic; default off).
         seed: seed for the internal random generator.
@@ -117,6 +119,7 @@ class PartialMergeKMeans:
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         kernel: str | None = None,
+        exact: bool | None = None,
         early_abandon: bool = False,
         seed: int | None = None,
     ) -> None:
@@ -144,6 +147,7 @@ class PartialMergeKMeans:
         self.criterion = criterion
         self.max_iter = max_iter
         self.kernel = kernel
+        self.exact = exact
         self.early_abandon = early_abandon
         self._rng = np.random.default_rng(seed)
 
@@ -230,6 +234,7 @@ class PartialMergeKMeans:
                 criterion=self.criterion,
                 max_iter=self.max_iter,
                 kernel=self.kernel,
+                exact=self.exact,
                 early_abandon=self.early_abandon,
             )
 
@@ -248,6 +253,7 @@ class PartialMergeKMeans:
                 criterion=self.criterion,
                 max_iter=self.max_iter,
                 kernel=self.kernel,
+                exact=self.exact,
             )
         return merge_kmeans(
             summaries,
@@ -257,4 +263,5 @@ class PartialMergeKMeans:
             extra_random_restarts=self.merge_restarts,
             rng=self._rng,
             kernel=self.kernel,
+            exact=self.exact,
         )

@@ -55,14 +55,40 @@ def pairwise_sq_distances(points: np.ndarray, centroids: np.ndarray) -> np.ndarr
 
 
 def assign_to_nearest(
-    points: np.ndarray, centroids: np.ndarray
+    points: np.ndarray,
+    centroids: np.ndarray,
+    kernel: str | None = None,
+    exact: bool | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Assign each point to its nearest centroid.
 
     Returns ``(assignments, sq_dists)`` where ``assignments[i]`` indexes the
     nearest centroid of ``points[i]`` and ``sq_dists[i]`` is the squared
     distance to it.
+
+    Args:
+        points: ``(n, d)`` query points (any float dtype/layout).
+        centroids: ``(k, d)`` model centroids.
+        kernel: ``"blas"`` (with ``exact=False``) routes the one-shot
+            assignment through the float32 GEMM fast path of
+            :func:`repro.core.kernels.blas_assign_to_nearest` —
+            assignments may differ from the dense reference only where
+            two centroids are within float32 noise of equidistant, and
+            returned ``sq_dists`` are always exact float64 for the chosen
+            centroid.  Every other value (``None``/exact kernel names)
+            uses the dense reference: bounds kernels have no advantage on
+            a one-shot assignment, so there is nothing to select.
+        exact: ``False`` opts into the ``blas`` tier (mirrors
+            :func:`repro.core.kernels.resolve_kernel`'s gate).
     """
+    if kernel is not None:
+        # Validate through the central resolver so unknown names and a
+        # missing exact=False waiver fail identically to the Lloyd path.
+        from repro.core.kernels import blas_assign_to_nearest, resolve_kernel
+
+        backend = resolve_kernel(kernel, exact=exact)
+        if not backend.exact:
+            return blas_assign_to_nearest(points, centroids)
     d2 = pairwise_sq_distances(points, centroids)
     assignments = np.argmin(d2, axis=1)
     sq_dists = d2[np.arange(d2.shape[0]), assignments]

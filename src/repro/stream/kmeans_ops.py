@@ -153,6 +153,7 @@ class PartialKMeansOperator(Transform):
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         kernel: str | None = None,
+        exact: bool | None = None,
         seed_sequence: np.random.SeedSequence | None = None,
         name: str = "partial",
     ) -> None:
@@ -165,6 +166,7 @@ class PartialKMeansOperator(Transform):
         self.criterion = criterion
         self.max_iter = max_iter
         self.kernel = kernel
+        self.exact = exact
         self._seed_sequence = (
             seed_sequence if seed_sequence is not None else np.random.SeedSequence()
         )
@@ -177,6 +179,7 @@ class PartialKMeansOperator(Transform):
             criterion=self.criterion,
             max_iter=self.max_iter,
             kernel=self.kernel,
+            exact=self.exact,
             seed_sequence=self._seed_sequence,
             name=self.name,
         )
@@ -215,6 +218,7 @@ class PartialKMeansOperator(Transform):
             criterion=self.criterion,
             max_iter=self.max_iter,
             kernel=self.kernel,
+            exact=self.exact,
         )
         yield CentroidMessage(
             cell_id=item.cell_id,
@@ -238,6 +242,7 @@ class PartialKMeansOperator(Transform):
             criterion=self.criterion,
             max_iter=self.max_iter,
             kernel=self.kernel,
+            exact=self.exact,
             entropy=base.entropy,
             spawn_key=tuple(base.spawn_key),
             name=self.name,
@@ -264,6 +269,7 @@ class PartialKMeansSpec:
     spawn_key: tuple[int, ...]
     name: str
     kernel: str | None = None
+    exact: bool | None = None
 
     def build(self) -> PartialKMeansOperator:
         return PartialKMeansOperator(
@@ -273,6 +279,7 @@ class PartialKMeansSpec:
             criterion=self.criterion,
             max_iter=self.max_iter,
             kernel=self.kernel,
+            exact=self.exact,
             seed_sequence=np.random.SeedSequence(
                 entropy=self.entropy, spawn_key=self.spawn_key
             ),
@@ -314,6 +321,7 @@ class MergeKMeansSink(Sink):
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         kernel: str | None = None,
+        exact: bool | None = None,
         evaluate_on: Mapping[str, np.ndarray] | None = None,
         journal: "JournalWriter | None" = None,
         name: str = "merge",
@@ -323,6 +331,7 @@ class MergeKMeansSink(Sink):
         self.criterion = criterion
         self.max_iter = max_iter
         self.kernel = kernel
+        self.exact = exact
         self._evaluate_on = dict(evaluate_on or {})
         self._journal = journal
         self._pending: dict[str, list[CentroidMessage]] = {}
@@ -410,6 +419,7 @@ class MergeKMeansSink(Sink):
             criterion=self.criterion,
             max_iter=self.max_iter,
             kernel=self.kernel,
+            exact=self.exact,
         )
         total = time.perf_counter() - start
         for message in messages:
@@ -475,6 +485,7 @@ def build_partial_merge_graph(
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     kernel: str | None = None,
+    exact: bool | None = None,
 ) -> DataflowGraph:
     """Assemble the scan → partial → merge dataflow for ``cells``."""
     graph = DataflowGraph()
@@ -488,6 +499,7 @@ def build_partial_merge_graph(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
         seed_sequence=seed_sequence,
     )
     merge = MergeKMeansSink(
@@ -495,6 +507,7 @@ def build_partial_merge_graph(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
         evaluate_on=cells if evaluate_against_raw else None,
     )
     graph.add(source, cost_hint=1.0)
@@ -522,6 +535,7 @@ def run_partial_merge_stream(
     backend: str | None = None,
     workers: int | None = None,
     kernel: str | None = None,
+    exact: bool | None = None,
 ) -> tuple[dict[str, ClusterModel], ExecutionResult]:
     """Cluster every grid cell with the streamed partial/merge pipeline.
 
@@ -558,10 +572,14 @@ def run_partial_merge_stream(
             backend (one worker process per clone); ignored when
             ``partial_clones`` is given explicitly.
         kernel: Lloyd assignment backend for the partial and merge stages
-            (``"dense"``/``"hamerly"``/``"tiled"``); ``None`` consults the
-            ``REPRO_KMEANS_KERNEL`` environment variable.  All kernels are
-            bit-identical, so the flag never changes results — counters in
-            the execution metrics show what it saved.
+            (``"dense"``/``"hamerly"``/``"elkan"``/``"blas"``); ``None``
+            consults the ``REPRO_KMEANS_KERNEL`` environment variable.
+            Exact kernels are bit-identical, so the flag never changes
+            results — counters in the execution metrics show what it
+            saved.
+        exact: ``False`` opts into the tolerance-close ``blas`` tier,
+            which waives bit-identity for speed (see
+            :func:`repro.core.kernels.blas_mse_tolerance`).
 
     Returns:
         ``(models, execution_result)`` where ``models`` maps cell id to
@@ -591,6 +609,7 @@ def run_partial_merge_stream(
             criterion=criterion,
             max_iter=max_iter,
             kernel=kernel,
+            exact=exact,
             config=shard_config,
             fault_plan=fault_plan,
         )
@@ -605,6 +624,7 @@ def run_partial_merge_stream(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
     )
     for name, policy in (supervision or {}).items():
         graph.set_supervision(name, policy)

@@ -34,7 +34,7 @@ from typing import Any, Iterable, Mapping
 import numpy as np
 
 from repro.core.convergence import ConvergenceCriterion
-from repro.core.kernels import available_kernels
+from repro.core.kernels import resolve_kernel
 from repro.core.kmeans import DEFAULT_MAX_ITER
 from repro.stream.checkpoint import (
     CheckpointError,
@@ -115,6 +115,7 @@ class _QueryState:
     shards: int | None = None
     shard_config: Any = None
     kernel: str | None = None
+    exact: bool | None = None
     prefix_queries: bool = False
     prefix_query_every: int | None = None
     prefix_query_window: int | None = None
@@ -284,23 +285,33 @@ class Query:
         self._state.shard_config = config
         return self
 
-    def with_kernel(self, kernel: str) -> "Query":
+    def with_kernel(self, kernel: str, exact: bool | None = None) -> "Query":
         """Choose the Lloyd assignment kernel for all k-means stages.
 
         Args:
-            kernel: ``"dense"`` (reference), ``"hamerly"`` (bounds-based
-                pruning) or ``"tiled"`` (blocked matmul expansion).  All
-                kernels are bit-identical in every output, so this is a
-                pure performance knob — which is also why the checkpoint
-                manifest does not record it: a journaled run may resume
-                under a different kernel and still produce the same bits.
+            kernel: ``"dense"`` (reference), ``"hamerly"`` (single lower
+                bound pruning), ``"elkan"`` (group bounds, the high-k
+                winner) or ``"blas"`` (float32 GEMM, requires
+                ``exact=False``).  Exact kernels are bit-identical in
+                every output, so the choice is a pure performance knob —
+                which is also why the checkpoint manifest does not record
+                it: a journaled run may resume under a different exact
+                kernel and still produce the same bits.
+            exact: pass ``False`` to opt into the ``blas`` tier, which
+                waives bit-identity for a documented MSE tolerance
+                (:func:`repro.core.kernels.blas_mse_tolerance`).  Resuming
+                a journal under ``exact=False`` forfeits the bit-identity
+                resume guarantee.
         """
-        if kernel not in available_kernels():
-            raise QueryError(
-                f"unknown kernel {kernel!r}; expected one of "
-                f"{', '.join(available_kernels())}"
-            )
+        try:
+            # Full selection semantics (two tiers, deprecated aliases,
+            # env interplay) live in resolve_kernel; validate through it
+            # so Query can never accept a kernel execute() would reject.
+            resolve_kernel(kernel, exact=exact)
+        except ValueError as error:
+            raise QueryError(str(error)) from None
         self._state.kernel = kernel
+        self._state.exact = exact
         return self
 
     def with_prefix_queries(
@@ -474,6 +485,7 @@ class Query:
             criterion=cluster["criterion"],
             max_iter=cluster["max_iter"],
             kernel=state.kernel,
+            exact=state.exact,
             seed_sequence=seed_sequence,
         )
         if state.prefix_queries:
@@ -482,6 +494,7 @@ class Query:
                 criterion=merge["criterion"],
                 max_iter=merge["max_iter"],
                 kernel=state.kernel,
+                exact=state.exact,
                 evaluate_on=evaluate_on,
                 journal=journal,
                 query_every=state.prefix_query_every,
@@ -493,6 +506,7 @@ class Query:
                 criterion=merge["criterion"],
                 max_iter=merge["max_iter"],
                 kernel=state.kernel,
+                exact=state.exact,
                 evaluate_on=evaluate_on,
                 journal=journal,
             )
@@ -613,6 +627,7 @@ class Query:
             criterion=cluster["criterion"],
             max_iter=cluster["max_iter"],
             kernel=state.kernel,
+            exact=state.exact,
             config=config,
             fault_plan=fault_plan,
         )
@@ -638,6 +653,7 @@ class Query:
             criterion=merge["criterion"],
             max_iter=merge["max_iter"],
             kernel=state.kernel,
+            exact=state.exact,
             query_every=state.prefix_query_every,
             query_window=state.prefix_query_window,
         )
@@ -692,8 +708,9 @@ class Query:
         see the same inventory an uninterrupted run would have processed.
         The directory path itself is also omitted — the inventory
         identifies the inputs by content, not location.  The Lloyd kernel
-        is deliberately not recorded either: kernels are bit-identical,
-        so resuming a journal under a different kernel is valid.
+        is deliberately not recorded either: exact kernels are
+        bit-identical, so resuming a journal under a different exact
+        kernel is valid (the ``blas`` tier waives this guarantee).
         """
         state = self._state
         cluster = dict(state.cluster_args or {})

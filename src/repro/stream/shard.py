@@ -230,6 +230,7 @@ class CellTask:
     criterion: ConvergenceCriterion | None
     max_iter: int
     kernel: str | None
+    exact: bool | None
     entropy: int
     spawn_key: tuple[int, ...]
     journal_path: str
@@ -373,6 +374,7 @@ def _run_cell_task(
                     criterion=task.criterion,
                     max_iter=task.max_iter,
                     kernel=task.kernel,
+                    exact=task.exact,
                 )
                 message = CentroidMessage(
                     cell_id=task.cell_id,
@@ -398,6 +400,7 @@ def _run_cell_task(
             criterion=task.criterion,
             max_iter=task.max_iter,
             kernel=task.kernel,
+            exact=task.exact,
             evaluate_on=points,
         )
         writer.append_cell(task.cell_id, model)
@@ -413,6 +416,7 @@ def _merge_messages(
     max_iter: int,
     kernel: str | None,
     evaluate_on: np.ndarray | None,
+    exact: bool | None = None,
 ) -> ClusterModel:
     """Collective merge over one cell's partition summaries.
 
@@ -428,6 +432,7 @@ def _merge_messages(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
     )
     total = time.perf_counter() - start
     final_mse = (
@@ -636,6 +641,7 @@ class ShardCoordinator:
         criterion: ConvergenceCriterion | None = None,
         max_iter: int = DEFAULT_MAX_ITER,
         kernel: str | None = None,
+        exact: bool | None = None,
         config: ShardConfig | None = None,
         fault_plan: FaultPlan | None = None,
     ) -> None:
@@ -656,6 +662,7 @@ class ShardCoordinator:
         self._criterion = criterion
         self._max_iter = max_iter
         self._kernel = kernel
+        self._exact = exact
         self._n_chunks = n_chunks
         self._tempdir: tempfile.TemporaryDirectory | None = None
         if self.config.run_dir is not None:
@@ -772,6 +779,7 @@ class ShardCoordinator:
             criterion=self._criterion,
             max_iter=self._max_iter,
             kernel=self._kernel,
+            exact=self._exact,
             entropy=int(self._seed_sequence.entropy),
             spawn_key=tuple(self._seed_sequence.spawn_key),
             journal_path=str(journal),
@@ -886,6 +894,7 @@ class ShardCoordinator:
                 criterion=self._criterion,
                 max_iter=self._max_iter,
                 kernel=self._kernel,
+                exact=self._exact,
                 evaluate_on=cell.points,
             )
             if len(union) == expected:
@@ -1081,6 +1090,7 @@ def run_sharded(
     criterion: ConvergenceCriterion | None = None,
     max_iter: int = DEFAULT_MAX_ITER,
     kernel: str | None = None,
+    exact: bool | None = None,
     config: ShardConfig | None = None,
     fault_plan: FaultPlan | None = None,
 ) -> tuple[dict[str, ClusterModel], ExecutionMetrics]:
@@ -1108,6 +1118,7 @@ def run_sharded(
         criterion: convergence criterion for all k-means stages.
         max_iter: Lloyd iteration cap for all stages.
         kernel: Lloyd assignment backend for all stages.
+        exact: ``False`` opts into the tolerance-close ``blas`` tier.
         config: runtime tuning (worker count, transport, heartbeats,
             reassignment budget, journal placement).
         fault_plan: optional chaos engine; ``kill`` / ``heartbeat-drop``
@@ -1130,6 +1141,7 @@ def run_sharded(
         criterion=criterion,
         max_iter=max_iter,
         kernel=kernel,
+        exact=exact,
         config=config,
         fault_plan=fault_plan,
     )

@@ -1,26 +1,34 @@
 """Kernel layer tests: bit-identity, counters, selection, early abandon.
 
-The load-bearing property is the determinism contract: every kernel must
-produce bit-identical ``assignments``, ``centroids``, ``sse`` and
-``iterations`` to the dense reference on every input — including weighted
-merge-style configurations and empty-cluster repair paths — because the
-engine's crash-resume and cross-backend determinism guarantees are built
-on top of it.
+The load-bearing property is the determinism contract: every *exact*
+kernel must produce bit-identical ``assignments``, ``centroids``, ``sse``
+and ``iterations`` to the dense reference on every input — including
+weighted merge-style configurations and empty-cluster repair paths —
+because the engine's crash-resume and cross-backend determinism
+guarantees are built on top of it.  The ``blas`` tier (``exact=False``)
+waives bit-identity for speed and must instead stay within the
+documented :func:`~repro.core.kernels.blas_mse_tolerance` bound.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+import repro.core.kernels as kernels_module
 from repro.core.kernels import (
+    EXACT_ENV_VAR,
     KERNEL_ENV_VAR,
+    BlasKernel,
     DenseKernel,
+    ElkanKernel,
     HamerlyKernel,
     KernelCounters,
-    TiledKernel,
     aggregate_weighted_sums,
     available_kernels,
+    blas_mse_tolerance,
     merge_counter_dicts,
     resolve_kernel,
 )
@@ -29,7 +37,8 @@ from repro.core.merge import merge_kmeans
 from repro.core.model import WeightedCentroidSet
 from repro.core.restarts import best_of_restarts
 
-ALT_KERNELS = ("hamerly", "tiled")
+#: Exact-tier kernels checked bit-for-bit against the dense reference.
+ALT_KERNELS = ("hamerly", "elkan")
 
 
 def _assert_identical(ref, alt, label):
@@ -40,6 +49,14 @@ def _assert_identical(ref, alt, label):
     assert alt.mse == ref.mse, label
     assert alt.iterations == ref.iterations, label
     assert alt.converged == ref.converged, label
+
+
+def _assert_blas_close(ref, pts, seeds, label, **lloyd_kwargs):
+    """The blas tier must stay within the documented MSE tolerance."""
+    alt = lloyd(pts, seeds, kernel="blas", exact=False, **lloyd_kwargs)
+    tol = blas_mse_tolerance(pts, ref.mse)
+    assert abs(alt.mse - ref.mse) <= tol, (label, alt.mse, ref.mse, tol)
+    return alt
 
 
 # ---------------------------------------------------------------------------
@@ -64,6 +81,9 @@ def test_kernels_bit_identical_randomized(case):
     for name in ALT_KERNELS:
         alt = lloyd(pts, seeds, weights=weights, max_iter=max_iter, kernel=name)
         _assert_identical(ref, alt, (name, case))
+    _assert_blas_close(
+        ref, pts, seeds, ("blas", case), weights=weights, max_iter=max_iter
+    )
 
 
 def test_kernels_bit_identical_clustered_data():
@@ -77,6 +97,7 @@ def test_kernels_bit_identical_clustered_data():
     ref = lloyd(pts, seeds, kernel="dense")
     for name in ALT_KERNELS:
         _assert_identical(ref, lloyd(pts, seeds, kernel=name), name)
+    _assert_blas_close(ref, pts, seeds, "blas clustered")
 
 
 def test_kernels_bit_identical_weighted_merge_configuration():
@@ -119,6 +140,7 @@ def test_kernels_bit_identical_through_empty_cluster_repair():
     assert ref.iterations >= 1
     for name in ALT_KERNELS:
         _assert_identical(ref, lloyd(pts, seeds, kernel=name), name)
+    _assert_blas_close(ref, pts, seeds, "blas repair")
 
 
 def test_kernels_bit_identical_duplicate_centroids():
@@ -148,6 +170,97 @@ def test_kernels_bit_identical_through_restarts():
         _assert_identical(ref.best, alt.best, name)
 
 
+def test_kernels_bit_identical_high_k_regime():
+    """k >= 40: the regime the elkan group bounds exist for."""
+    rng = np.random.default_rng(29)
+    pts = rng.normal(size=(2000, 6))
+    seeds = pts[rng.choice(2000, size=48, replace=False)]
+    ref = lloyd(pts, seeds, kernel="dense", max_iter=30)
+    for name in ALT_KERNELS:
+        alt = lloyd(pts, seeds, kernel=name, max_iter=30)
+        _assert_identical(ref, alt, (name, "k=48"))
+    _assert_blas_close(ref, pts, seeds, "blas k=48", max_iter=30)
+
+
+# ---------------------------------------------------------------------------
+# Input dtype / memory-layout coverage (satellite)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "layout", ["float32", "fortran", "strided", "fortran32"]
+)
+def test_kernels_accept_every_input_layout(layout):
+    """float32 / Fortran-ordered / non-contiguous inputs: every kernel.
+
+    ``lloyd`` canonicalises inputs to float64 C-contiguous before the
+    kernel sees them, so every kernel must give the same answer for the
+    same logical values regardless of the caller's dtype or layout.
+    """
+    rng = np.random.default_rng(31)
+    base = rng.normal(size=(240, 5))
+    seeds = base[rng.choice(240, size=9, replace=False)].copy()
+    if layout == "float32":
+        pts = base.astype(np.float32)
+    elif layout == "fortran":
+        pts = np.asfortranarray(base)
+    elif layout == "strided":
+        padded = rng.normal(size=(480, 5))
+        padded[::2] = base
+        pts = padded[::2]
+        assert not pts.flags["C_CONTIGUOUS"]
+    else:
+        pts = np.asfortranarray(base.astype(np.float32))
+    # Reference computed from the canonical float64 copy of the same values.
+    canonical = np.ascontiguousarray(pts, dtype=np.float64)
+    ref = lloyd(canonical, seeds, kernel="dense", max_iter=25)
+    for name in ("dense",) + ALT_KERNELS:
+        alt = lloyd(pts, seeds, kernel=name, max_iter=25)
+        _assert_identical(ref, alt, (name, layout))
+    _assert_blas_close(ref, pts, seeds, ("blas", layout), max_iter=25)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis property tests (satellite): tier contracts on random shapes
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=8, max_value=160),
+    k=st.integers(min_value=1, max_value=12),
+    d=st.integers(min_value=1, max_value=10),
+)
+def test_property_exact_kernels_bit_identical(seed, n, k, d):
+    """Any (n, k, d): exact kernels reproduce dense bit for bit."""
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(scale=rng.uniform(1e-2, 1e2), size=(n, d))
+    seeds = pts[rng.choice(n, size=k, replace=False)]
+    ref = lloyd(pts, seeds, kernel="dense", max_iter=15)
+    for name in ALT_KERNELS:
+        alt = lloyd(pts, seeds, kernel=name, max_iter=15)
+        _assert_identical(ref, alt, (name, seed, n, k, d))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=8, max_value=160),
+    k=st.integers(min_value=1, max_value=12),
+    d=st.integers(min_value=1, max_value=10),
+)
+def test_property_blas_within_documented_tolerance(seed, n, k, d):
+    """Any (n, k, d): the blas tier stays within blas_mse_tolerance."""
+    k = min(k, n)
+    rng = np.random.default_rng(seed)
+    pts = rng.normal(scale=rng.uniform(1e-2, 1e2), size=(n, d))
+    seeds = pts[rng.choice(n, size=k, replace=False)]
+    ref = lloyd(pts, seeds, kernel="dense", max_iter=15)
+    _assert_blas_close(ref, pts, seeds, (seed, n, k, d), max_iter=15)
+
+
 # ---------------------------------------------------------------------------
 # Counters
 # ---------------------------------------------------------------------------
@@ -168,29 +281,52 @@ def test_dense_counters_account_every_evaluation():
     assert counters.bound_check_hits == 0
 
 
-def test_hamerly_counters_show_real_savings():
+@pytest.mark.parametrize("name", ALT_KERNELS)
+def test_bounds_kernels_account_every_evaluation(name):
     rng = np.random.default_rng(1)
     centers = rng.uniform(-50, 50, size=(8, 5))
     pts = np.vstack([c + rng.normal(scale=0.3, size=(250, 5)) for c in centers])
     seeds = pts[rng.choice(pts.shape[0], 8, replace=False)]
     dense = lloyd(pts, seeds, kernel="dense")
-    hamerly = lloyd(pts, seeds, kernel="hamerly")
-    assert hamerly.counters.distance_evals_skipped > 0
-    assert hamerly.counters.bound_check_hits > 0
+    fast = lloyd(pts, seeds, kernel=name)
+    assert fast.counters.distance_evals_skipped > 0
+    assert fast.counters.bound_check_hits > 0
     # The pruning must translate into strictly less distance work than
-    # the dense reference, and because a bounds pass costs
-    # (n - m) + m*k <= n*k the accounting is exact: every evaluation is
-    # either computed or provably skipped, never double-counted.
+    # the dense reference, and the accounting is exact: every evaluation
+    # is either computed or provably skipped, never double-counted.
     assert (
-        hamerly.counters.distance_evals_computed
+        fast.counters.distance_evals_computed
         < dense.counters.distance_evals_computed
     )
     assert (
-        hamerly.counters.distance_evals_computed
-        + hamerly.counters.distance_evals_skipped
+        fast.counters.distance_evals_computed
+        + fast.counters.distance_evals_skipped
         == dense.counters.distance_evals_computed
     )
-    assert hamerly.counters.assign_seconds >= 0.0
+    assert fast.counters.assign_seconds >= 0.0
+    if name == "elkan":
+        # One group-bound set maintained per assignment pass.
+        assert fast.counters.bound_groups >= fast.counters.assign_calls
+
+
+def test_blas_counters_record_gemm_and_refines():
+    rng = np.random.default_rng(2)
+    centers = rng.uniform(-50, 50, size=(10, 4))
+    pts = np.vstack([c + rng.normal(scale=0.4, size=(300, 4)) for c in centers])
+    seeds = pts[rng.choice(pts.shape[0], 10, replace=False)]
+    result = lloyd(pts, seeds, kernel="blas", exact=False)
+    counters = result.counters
+    assert counters.kernel == "blas"
+    assert counters.gemm_calls > 0
+    assert counters.refine_rows >= 0
+    assert counters.bound_groups > 0
+    # Accounting covers the executed passes (the trajectory itself may
+    # differ from dense, so compare against this run's own pass count).
+    dense_cost = counters.assign_calls * pts.shape[0] * 10
+    assert (
+        counters.distance_evals_computed + counters.distance_evals_skipped
+        == dense_cost
+    )
 
 
 def test_counters_dict_roundtrip_and_merge():
@@ -214,21 +350,36 @@ def test_counters_dict_roundtrip_and_merge():
     assert merge_counter_dicts({"x": 1}, None) == {"x": 1}
 
 
+def test_counters_dict_carries_new_fields():
+    a = KernelCounters("blas", gemm_calls=7, refine_rows=13, bound_groups=5)
+    payload = a.as_dict()
+    assert payload["gemm_calls"] == 7
+    assert payload["refine_rows"] == 13
+    assert payload["bound_groups"] == 5
+    roundtrip = KernelCounters.from_dict(payload)
+    assert roundtrip == a
+    merged = merge_counter_dicts({}, payload)
+    merged = merge_counter_dicts(merged, payload)
+    assert merged["gemm_calls"] == 14
+    assert merged["bound_groups"] == 10
+
+
 # ---------------------------------------------------------------------------
-# Selection: resolve_kernel and the environment knob
+# Selection: resolve_kernel, the environment knobs, and the exact gate
 # ---------------------------------------------------------------------------
 
 
-def test_available_kernels_lists_all_three():
-    assert available_kernels() == ("dense", "hamerly", "tiled")
+def test_available_kernels_lists_all_four():
+    assert available_kernels() == ("blas", "dense", "elkan", "hamerly")
 
 
 def test_resolve_kernel_precedence(monkeypatch):
     monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+    monkeypatch.delenv(EXACT_ENV_VAR, raising=False)
     assert isinstance(resolve_kernel(None), DenseKernel)
     assert isinstance(resolve_kernel("hamerly"), HamerlyKernel)
-    monkeypatch.setenv(KERNEL_ENV_VAR, "tiled")
-    assert isinstance(resolve_kernel(None), TiledKernel)
+    monkeypatch.setenv(KERNEL_ENV_VAR, "elkan")
+    assert isinstance(resolve_kernel(None), ElkanKernel)
     # Explicit argument beats the environment.
     assert isinstance(resolve_kernel("dense"), DenseKernel)
     # Instances pass through untouched.
@@ -239,11 +390,83 @@ def test_resolve_kernel_precedence(monkeypatch):
 
 
 def test_resolve_kernel_rejects_unknown(monkeypatch):
+    monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
     with pytest.raises(ValueError, match="unknown k-means kernel"):
         resolve_kernel("fancy")
+
+
+def test_resolve_kernel_names_env_var_for_bad_env_value(monkeypatch):
+    """A bad REPRO_KMEANS_KERNEL value must be blamed on the env var."""
     monkeypatch.setenv(KERNEL_ENV_VAR, "fancy")
-    with pytest.raises(ValueError, match="unknown k-means kernel"):
+    with pytest.raises(ValueError) as excinfo:
         resolve_kernel(None)
+    message = str(excinfo.value)
+    assert KERNEL_ENV_VAR in message
+    assert "'fancy'" in message
+    for name in available_kernels():
+        assert name in message
+
+
+def test_exact_gate_blocks_blas_by_default(monkeypatch):
+    monkeypatch.delenv(EXACT_ENV_VAR, raising=False)
+    with pytest.raises(ValueError, match="bit-identity"):
+        resolve_kernel("blas")
+    with pytest.raises(ValueError, match="bit-identity"):
+        resolve_kernel(BlasKernel())
+    # The explicit waiver admits the tier.
+    assert isinstance(resolve_kernel("blas", exact=False), BlasKernel)
+    instance = BlasKernel()
+    assert resolve_kernel(instance, exact=False) is instance
+
+
+def test_exact_env_var_waives_and_rejects_garbage(monkeypatch):
+    monkeypatch.setenv(EXACT_ENV_VAR, "0")
+    assert isinstance(resolve_kernel("blas"), BlasKernel)
+    monkeypatch.setenv(EXACT_ENV_VAR, "false")
+    assert isinstance(resolve_kernel("blas"), BlasKernel)
+    monkeypatch.setenv(EXACT_ENV_VAR, "1")
+    with pytest.raises(ValueError, match="bit-identity"):
+        resolve_kernel("blas")
+    monkeypatch.setenv(EXACT_ENV_VAR, "maybe")
+    with pytest.raises(ValueError, match=EXACT_ENV_VAR):
+        resolve_kernel("blas")
+    # An explicit argument beats the environment.
+    monkeypatch.setenv(EXACT_ENV_VAR, "1")
+    assert isinstance(resolve_kernel("blas", exact=False), BlasKernel)
+
+
+def test_tiled_alias_maps_to_blas_with_one_deprecation_warning(monkeypatch):
+    """Regression pin for the deprecate-and-alias satellite."""
+    monkeypatch.delenv(EXACT_ENV_VAR, raising=False)
+    monkeypatch.setattr(kernels_module, "_tiled_alias_warned", False)
+    with pytest.warns(DeprecationWarning, match="tiled"):
+        kernel = resolve_kernel("tiled", exact=False)
+    assert isinstance(kernel, BlasKernel)
+    # Warn once per process, not per call.
+    with warnings_none():
+        again = resolve_kernel("tiled", exact=False)
+    assert isinstance(again, BlasKernel)
+    # The alias lands on the exact=False tier, so the gate still applies.
+    with pytest.raises(ValueError, match="bit-identity"):
+        resolve_kernel("tiled")
+
+
+class warnings_none:
+    """Context asserting no warnings are emitted inside the block."""
+
+    def __enter__(self):
+        import warnings as _warnings
+
+        self._catcher = _warnings.catch_warnings(record=True)
+        self._records = self._catcher.__enter__()
+        _warnings.simplefilter("always")
+        return self._records
+
+    def __exit__(self, exc_type, exc, tb):
+        self._catcher.__exit__(exc_type, exc, tb)
+        if exc_type is None:
+            assert not self._records, [str(r.message) for r in self._records]
+        return False
 
 
 def test_env_knob_drives_lloyd(monkeypatch):

@@ -510,6 +510,7 @@ class TestConfigValidation:
             criterion=None,
             max_iter=10,
             kernel=None,
+            exact=None,
             entropy=7,
             spawn_key=(),
             journal_path=str(tmp_path / "x.rjl"),
